@@ -1,0 +1,52 @@
+"""Figure 10 — small (S) frame transmissions per second across rates.
+
+Paper: S-11 counts dominate the other S categories at every congestion
+level, and rise under high congestion (Cantieni et al.'s prediction
+that small fast frames keep winning channel access); S-1 also grows as
+rate adaptation pushes retries down the ladder.
+"""
+
+import numpy as np
+
+from repro.core import figure10_categories, transmissions_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig10_small_frames(benchmark, ramp_result, report_file):
+    counts = benchmark(
+        transmissions_vs_utilization,
+        ramp_result.trace,
+        figure10_categories(),
+    )
+    band = {name: counts[name].restricted(20, 100) for name in counts.names}
+    text = multi_line_chart(
+        band["S-11"].utilization,
+        {name: band[name].value for name in counts.names},
+        title="Fig 10 analogue: S-class frames/second per rate",
+        x_label="utilization %",
+    )
+
+    def total(name):
+        return float(np.nansum(counts[name].value * counts[name].count))
+
+    totals = {name: total(name) for name in counts.names}
+    text += f"\ntotals: { {k: round(v) for k, v in totals.items()} }\n"
+    text += "Paper: S-11 >> S-1/S-2/S-5.5 at all levels.\n"
+    report_file(text)
+
+    # S-11 dominates the S class overall.
+    assert totals["S-11"] > totals["S-1"]
+    assert totals["S-11"] > totals["S-2"]
+    assert totals["S-11"] > totals["S-5.5"]
+    # S-11 counts grow with utilization from the idle floor into the
+    # loaded bands (count-weighted band means; single bins are noisy).
+    def band_mean(series, lo, hi):
+        band = series.restricted(lo, hi)
+        if band.count.sum() == 0:
+            return float("nan")
+        return float(np.average(band.value, weights=band.count))
+
+    low = band_mean(counts["S-11"], 5, 30)
+    high = band_mean(counts["S-11"], 55, 100)
+    if not (np.isnan(low) or np.isnan(high)):
+        assert high > low

@@ -1,0 +1,43 @@
+"""Figure 11 — extra-large (XL) frame transmissions across rates.
+
+Paper: XL-11 dominates the XL class and its count increases during
+congestion (the 11 Mbps frames' channel-access advantage); XL-2 and
+XL-5.5 stay marginal.
+"""
+
+import numpy as np
+
+from repro.core import figure11_categories, transmissions_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig11_xl_frames(benchmark, ramp_result, report_file):
+    counts = benchmark(
+        transmissions_vs_utilization,
+        ramp_result.trace,
+        figure11_categories(),
+    )
+    band = {name: counts[name].restricted(20, 100) for name in counts.names}
+    text = multi_line_chart(
+        band["XL-11"].utilization,
+        {name: band[name].value for name in counts.names},
+        title="Fig 11 analogue: XL-class frames/second per rate",
+        x_label="utilization %",
+    )
+
+    def total(name):
+        return float(np.nansum(counts[name].value * counts[name].count))
+
+    totals = {name: total(name) for name in counts.names}
+    text += f"\ntotals: { {k: round(v) for k, v in totals.items()} }\n"
+    text += "Paper: XL-11 dominates; XL-11 rises during congestion.\n"
+    report_file(text)
+
+    assert totals["XL-11"] > totals["XL-1"]
+    assert totals["XL-11"] > totals["XL-2"]
+    assert totals["XL-11"] > totals["XL-5.5"]
+    # Counts rise from the uncongested floor into the moderate band.
+    low = counts["XL-11"].value_at(25)
+    mid = counts["XL-11"].value_at(70)
+    if not (np.isnan(low) or np.isnan(mid)):
+        assert mid > low

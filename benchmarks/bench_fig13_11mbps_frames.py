@@ -1,0 +1,44 @@
+"""Figure 13 — 11 Mbps frame transmissions per second across sizes.
+
+Paper: a large number of data frames ride the highest rate; S-11 and
+XL-11 counts increase with utilization during high congestion as
+retransmissions multiply.
+"""
+
+import numpy as np
+
+from repro.core import figure13_categories, transmissions_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig13_11mbps_frames(benchmark, ramp_result, report_file):
+    counts = benchmark(
+        transmissions_vs_utilization,
+        ramp_result.trace,
+        figure13_categories(),
+    )
+    band = {name: counts[name].restricted(20, 100) for name in counts.names}
+    text = multi_line_chart(
+        band["S-11"].utilization,
+        {name: band[name].value for name in counts.names},
+        title="Fig 13 analogue: 11 Mbps frames/second per size class",
+        x_label="utilization %",
+    )
+
+    def total(name):
+        return float(np.nansum(counts[name].value * counts[name].count))
+
+    totals = {name: total(name) for name in counts.names}
+    text += f"\ntotals: { {k: round(v) for k, v in totals.items()} }\n"
+    text += "Paper: S-11 and XL-11 dominate and rise with congestion.\n"
+    report_file(text)
+
+    # The traffic mix makes S-11 and XL-11 the heavyweight categories.
+    assert totals["S-11"] > totals["M-11"]
+    assert totals["XL-11"] > totals["L-11"]
+    # Counts rise from the uncongested floor into the loaded bands.
+    for name in ("S-11", "XL-11"):
+        low = counts[name].value_at(25)
+        busy = counts[name].value_at(75)
+        if not (np.isnan(low) or np.isnan(busy)):
+            assert busy > low

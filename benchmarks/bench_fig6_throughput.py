@@ -1,0 +1,51 @@
+"""Figure 6 — throughput and goodput versus channel utilization.
+
+Paper: throughput climbs with utilization to ~4.9 Mbps at ~84 % (close
+to the 11 Mbps theoretical maximum), then collapses to ~2.8 Mbps by
+98 %; goodput tracks just below throughput (4.4 -> 2.6).  The collapse
+is the paper's central exhibit for rate-adaptation misbehaviour.
+
+Shape checks: rise through the moderate band, an interior peak, a
+post-peak decline, goodput <= throughput everywhere, and the peak below
+the Jun et al. ceiling.
+"""
+
+import numpy as np
+
+from repro.baselines import theoretical_maximum_throughput
+from repro.core import throughput_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig6_throughput_goodput(benchmark, ramp_result, report_file):
+    series = benchmark(throughput_vs_utilization, ramp_result.trace)
+    tput, gput = series.throughput_mbps, series.goodput_mbps
+    band_t = tput.restricted(20, 100)
+    band_g = gput.restricted(20, 100)
+
+    peak_util, peak_value = series.peak()
+    tail = np.mean(band_t.value[-5:]) if len(band_t) >= 5 else float("nan")
+    ceiling = theoretical_maximum_throughput(1400, 11.0).throughput_mbps
+
+    text = multi_line_chart(
+        band_t.utilization,
+        {"throughput": band_t.value, "goodput": band_g.value},
+        title="Fig 6 analogue: Mbps vs channel utilization",
+        x_label="utilization %",
+    )
+    text += (
+        f"\npeak {peak_value:.2f} Mbps at {peak_util:.0f}% "
+        f"(paper: 4.9 at 84%), tail {tail:.2f} Mbps (paper: 2.8), "
+        f"Jun TMT ceiling {ceiling:.2f} Mbps\n"
+    )
+    report_file(text)
+
+    # Shape assertions (paper F1).
+    assert np.all(band_g.value <= band_t.value + 1e-9)
+    assert 40.0 <= peak_util <= 95.0              # interior peak
+    low = band_t.value_at(30)
+    if not np.isnan(low):
+        assert peak_value > 1.5 * low              # rising leg
+    assert peak_value < ceiling                    # below theoretical max
+    if not np.isnan(tail):
+        assert tail < peak_value                   # post-peak decline

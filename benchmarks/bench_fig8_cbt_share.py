@@ -1,0 +1,45 @@
+"""Figure 8 — channel busy-time share of each data rate vs utilization.
+
+Paper: 1 Mbps frames occupy far more channel time than 11 Mbps frames
+at almost all utilization levels, and their share *grows* across the
+high-congestion knee (0.43 s -> 0.54 s of every second), which is the
+direct mechanism of the Figure 6 throughput collapse.
+
+Shape checks: 1 Mbps share grows from the moderate band to the high
+band; 1 Mbps share exceeds the 11 Mbps share under high congestion;
+2/5.5 Mbps shares stay small (the paper's F2).
+"""
+
+import numpy as np
+
+from repro.core import busytime_share_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig8_busytime_share(benchmark, ramp_result, report_file):
+    shares = benchmark(busytime_share_vs_utilization, ramp_result.trace)
+
+    band = {rate: shares[rate].restricted(20, 100) for rate in shares.rates}
+    text = multi_line_chart(
+        band[1.0].utilization,
+        {f"{rate:g} Mbps": band[rate].value for rate in shares.rates},
+        title="Fig 8 analogue: busy seconds per second, per rate",
+        x_label="utilization %",
+    )
+    share_1_mod = shares[1.0].value_at(55)
+    share_1_high = shares[1.0].value_at(95)
+    text += (
+        f"\n1 Mbps share: {share_1_mod:.2f} s at 55% -> {share_1_high:.2f} s at 95% "
+        "(paper: 0.43 -> 0.54)\n"
+        f"11 Mbps share at 95%: {shares[11.0].value_at(95):.2f} s\n"
+    )
+    report_file(text)
+
+    # F4: the 1 Mbps share grows across the knee...
+    assert share_1_high > share_1_mod
+    # ...and dominates the 11 Mbps share under high congestion.
+    assert share_1_high > shares[11.0].value_at(95)
+    # F2: the middle rates stay marginal at every level.
+    for rate in (2.0, 5.5):
+        values = band[rate].value
+        assert np.nanmean(values) < np.nanmean(band[1.0].value) + 0.05

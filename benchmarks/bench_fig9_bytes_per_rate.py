@@ -1,0 +1,48 @@
+"""Figure 9 — bytes transmitted per second at each rate vs utilization.
+
+Paper: despite occupying roughly half the channel time of the 1 Mbps
+frames, the 11 Mbps frames carry ~300 % more bytes at almost all
+utilization levels.
+
+Shape checks: the 11 Mbps byte volume exceeds the 1 Mbps byte volume
+over the analysis band, and bytes-per-airtime at 11 Mbps dwarfs the
+1 Mbps figure (the efficiency gap behind the paper's §7 advice).
+"""
+
+import numpy as np
+
+from repro.core import busytime_share_vs_utilization, bytes_per_rate_vs_utilization
+from repro.viz import multi_line_chart
+
+
+def test_fig9_bytes_per_rate(benchmark, ramp_result, report_file):
+    volumes = benchmark(bytes_per_rate_vs_utilization, ramp_result.trace)
+    shares = busytime_share_vs_utilization(ramp_result.trace)
+
+    band = {rate: volumes[rate].restricted(20, 100) for rate in volumes.rates}
+    text = multi_line_chart(
+        band[11.0].utilization,
+        {f"{rate:g} Mbps": band[rate].value for rate in volumes.rates},
+        title="Fig 9 analogue: bytes per second, per rate",
+        x_label="utilization %",
+    )
+
+    def weighted_total(series):
+        return float(np.nansum(series.value * series.count))
+
+    bytes_11 = weighted_total(volumes[11.0])
+    bytes_1 = weighted_total(volumes[1.0])
+    busy_11 = weighted_total(shares[11.0])
+    busy_1 = weighted_total(shares[1.0])
+    text += (
+        f"\ntotal bytes at 11 Mbps / 1 Mbps = {bytes_11 / max(bytes_1, 1):.1f}x "
+        "(paper: ~4x, '300% more')\n"
+        f"bytes per busy-second: 11 Mbps {bytes_11 / max(busy_11, 1e-9):,.0f}, "
+        f"1 Mbps {bytes_1 / max(busy_1, 1e-9):,.0f}\n"
+    )
+    report_file(text)
+
+    # 11 Mbps moves more bytes overall...
+    assert bytes_11 > bytes_1
+    # ...and is several times more efficient per unit of airtime.
+    assert bytes_11 / max(busy_11, 1e-9) > 3 * bytes_1 / max(busy_1, 1e-9)

@@ -1,0 +1,54 @@
+"""Table 2 — IEEE 802.11b delay components.
+
+This is an exactness audit rather than a measurement: every delay
+component and the D_DATA(size)(rate) formula must match the paper's
+published microsecond values.  The benchmark times the vectorised CBT
+computation over the ramp trace (the hot path of the whole pipeline).
+"""
+
+import pytest
+
+from repro.core import DOT11B_TIMING, trace_cbt_us
+from repro.viz import table
+
+PAPER_TABLE2 = {
+    "D_DIFS": 50.0,
+    "D_SIFS": 10.0,
+    "D_RTS": 352.0,
+    "D_CTS": 304.0,
+    "D_ACK": 304.0,
+    "D_BEACON": 304.0,
+    "D_BO": 0.0,
+    "D_PLCP": 192.0,
+}
+
+
+def test_table2_delay_components(benchmark, ramp_result, report_file):
+    trace = ramp_result.trace
+    cbt = benchmark(trace_cbt_us, trace)
+    assert len(cbt) == len(trace)
+    assert cbt.min() > 0
+
+    rows = [
+        {
+            "component": name,
+            "paper_us": PAPER_TABLE2[name],
+            "ours_us": value,
+            "match": "yes" if value == PAPER_TABLE2[name] else "NO",
+        }
+        for name, value in DOT11B_TIMING.as_table()
+    ]
+    formula = DOT11B_TIMING.data_frame_duration_us(1500, 11.0)
+    rows.append(
+        {
+            "component": "D_DATA(1500)(11)",
+            "paper_us": round(192 + 8 * 1534 / 11.0, 1),
+            "ours_us": round(formula, 1),
+            "match": "yes",
+        }
+    )
+    report_file(table(rows, title="Table 2: delay components (paper vs ours)"))
+
+    for name, value in DOT11B_TIMING.as_table():
+        assert value == PAPER_TABLE2[name], name
+    assert formula == pytest.approx(192 + 8 * 1534 / 11.0)

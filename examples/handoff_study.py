@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Roaming and infrastructure dynamics (paper §2 [15], §4.1, Fig 4b).
+
+The IETF infrastructure was not static: clients handed off between APs
+and the Airespace controllers rebalanced channels.  This study runs a
+two-AP cell with heavy shadowing — so the naive nearest-AP association
+is frequently wrong — first frozen, then with best-beacon roaming and
+dynamic channel management enabled, and compares:
+
+* how many stations end up on their strongest-beacon AP,
+* per-station delivery (Jain fairness), and
+* the association timeline the paper's Figure 4(b) plots.
+
+Usage::
+
+    python examples/handoff_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import station_stats, user_association_series
+from repro.sim import ConstantRate, ScenarioConfig, run_scenario
+from repro.viz import table
+
+
+def _config(roaming: bool, seed: int = 83) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_stations=12,
+        n_aps=2,
+        channels=(1, 6),
+        duration_s=25.0,
+        seed=seed,
+        room_width_m=50.0,
+        room_depth_m=25.0,
+        shadowing_sigma_db=8.0,
+        uplink=ConstantRate(6.0),
+        downlink=ConstantRate(8.0),
+        roaming=roaming,
+    )
+
+
+def _evaluate(roaming: bool) -> dict:
+    result = run_scenario(_config(roaming))
+    # How many stations serve from their best-beacon AP?  Evaluate with
+    # a fresh manager's scan logic even when roaming was off.
+    from repro.sim import RoamingManager
+
+    probe = RoamingManager(
+        sim=result.sim,
+        propagation=result.medium.propagation,
+        aps=result.aps,
+        stations=result.stations,
+        downlink_router={},
+        ap_tx_power_dbm=result.config.ap_tx_power_dbm,
+    )
+    on_best = sum(
+        1
+        for station in result.stations
+        if probe.best_ap(station).node_id == station.ap_id
+    )
+    stats = station_stats(result.trace, result.roster)
+    roams = (
+        len(result.roaming_manager.roams) if result.roaming_manager else 0
+    )
+    return {
+        "roaming": "on" if roaming else "off",
+        "stations_on_best_ap": f"{on_best}/{result.config.n_stations}",
+        "roams": roams,
+        "jain_fairness": round(stats.fairness("acked_bytes"), 3),
+        "total_acked_bytes": int(stats.table.column("acked_bytes").sum()),
+        "_result": result,
+    }
+
+
+def main() -> None:
+    rows = []
+    for roaming in (False, True):
+        print(f"running with roaming {'on' if roaming else 'off'} ...")
+        rows.append(_evaluate(roaming))
+
+    display = [{k: v for k, v in r.items() if not k.startswith("_")} for r in rows]
+    print()
+    print(table(display, title="Handoff study: frozen vs roaming association"))
+
+    # Association timeline (Fig 4b analogue) for the roaming run.
+    result = rows[1]["_result"]
+    series = user_association_series(result.trace, result.roster, 5_000_000)
+    users = series.column("users")
+    print("active users per 5 s interval (roaming run):")
+    for interval, count in zip(series.column("interval"), users):
+        print(f"  t={int(interval) * 5:3d}s  {'#' * int(count)} {count}")
+
+    ap_counts = {}
+    for station in result.stations:
+        ap_counts[station.ap_id] = ap_counts.get(station.ap_id, 0) + 1
+    print(f"\nfinal stations per AP (roaming run): {ap_counts}")
+    print(
+        "\nReading: with heavy shadowing, distance-based association leaves"
+        "\nseveral stations on the weaker AP; best-beacon roaming moves all"
+        "\nof them (the Mishra et al. handoff behaviour the paper cites)."
+        "\nNote the catch: SNR-greedy handoff is load-blind — it can pile"
+        "\nstations onto one AP/channel and *reduce* total delivery, which"
+        "\nis exactly why the IETF's Airespace controllers paired dynamic"
+        "\nchannels with client load balancing (paper §4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

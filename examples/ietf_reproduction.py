@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Full scaled reproduction of the paper's measurement campaign.
+
+Simulates the two IETF sessions (day, plenary) plus the load ramp that
+sweeps channel utilization, then regenerates the data behind every
+table and figure in the paper, writing ASCII charts and CSV series into
+``examples/results/``.
+
+Usage::
+
+    python examples/ietf_reproduction.py [--fast]
+
+``--fast`` shrinks the simulated durations for a quick look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    analyze_trace,
+    dataset_summary,
+    unrecorded_by_ap,
+    user_association_series,
+    utilization_series,
+)
+from repro.sim import (
+    ietf_day_config,
+    ietf_plenary_config,
+    load_ramp_config,
+    run_scenario,
+)
+from repro.viz import histogram_chart, line_chart, multi_line_chart, table
+
+
+def _write_csv(path: Path, header: list[str], rows) -> None:
+    with path.open("w", newline="") as fp:
+        writer = csv.writer(fp)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def _binned_csv(path: Path, series_map: dict) -> None:
+    names = list(series_map)
+    utils = sorted({u for s in series_map.values() for u in s.utilization})
+    rows = []
+    for u in utils:
+        rows.append([u] + [series_map[n].value_at(u) for n in names])
+    _write_csv(path, ["utilization"] + names, rows)
+
+
+def reproduce(out: Path, fast: bool) -> None:
+    session_s = 30.0 if fast else 90.0
+    ramp_s = 60.0 if fast else 240.0
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("simulating day session ...")
+    day = run_scenario(ietf_day_config(duration_s=session_s))
+    print("simulating plenary session ...")
+    plenary = run_scenario(ietf_plenary_config(duration_s=session_s))
+    print("simulating utilization ramp ...")
+    ramp = run_scenario(load_ramp_config(duration_s=ramp_s))
+    report = analyze_trace(ramp.trace, ramp.roster, name="ramp")
+
+    # ---- Table 1 -------------------------------------------------------
+    rows = [
+        dataset_summary(day.trace.only_channel(ch), f"day/ch{ch}").as_row()
+        for ch in day.config.channels
+    ] + [
+        dataset_summary(plenary.trace.only_channel(ch), f"plenary/ch{ch}").as_row()
+        for ch in plenary.config.channels
+    ]
+    (out / "table1.txt").write_text(table(rows, title="Table 1 analogue"))
+    print(table(rows, title="Table 1 analogue"))
+
+    # ---- Figure 4 -------------------------------------------------------
+    for name, result in (("day", day), ("plenary", plenary)):
+        users = user_association_series(result.trace, result.roster, 10_000_000)
+        _write_csv(
+            out / f"fig4b_{name}.csv",
+            ["interval", "users"],
+            zip(users.column("interval"), users.column("users")),
+        )
+        unrec = unrecorded_by_ap(result.trace, result.roster)
+        _write_csv(
+            out / f"fig4c_{name}.csv",
+            ["ap", "rank", "captured", "missing", "unrecorded_percent"],
+            zip(*(unrec.column(c) for c in
+                  ("ap", "rank", "captured", "missing", "unrecorded_percent"))),
+        )
+
+    # ---- Figure 5 -------------------------------------------------------
+    chart = ""
+    for name, result in (("day", day), ("plenary", plenary)):
+        merged = np.concatenate(
+            [
+                utilization_series(result.trace.only_channel(ch)).percent
+                for ch in result.config.channels
+            ]
+        )
+        counts, _ = np.histogram(np.clip(merged, 0, 100), bins=np.arange(0, 101, 2))
+        chart += histogram_chart(
+            np.arange(0, 100, 2), counts,
+            title=f"Fig 5c ({name}) utilization frequency", x_label="util %",
+        )
+        _write_csv(out / f"fig5c_{name}.csv", ["bin", "count"],
+                   zip(np.arange(0, 100, 2), counts))
+    (out / "fig5.txt").write_text(chart)
+
+    # ---- Figures 6-15 from the ramp ------------------------------------
+    band = lambda s: s.restricted(20, 100)  # noqa: E731 - local shorthand
+    tput, gput = band(report.throughput.throughput_mbps), band(
+        report.throughput.goodput_mbps
+    )
+    fig6 = multi_line_chart(
+        tput.utilization,
+        {"throughput": tput.value, "goodput": gput.value},
+        title="Fig 6: Mbps vs utilization",
+        x_label="utilization %",
+    )
+    peak_u, peak_v = report.throughput.peak()
+    fig6 += f"\npeak {peak_v:.2f} Mbps @ {peak_u:.0f}% (paper: 4.9 @ 84%)\n"
+    (out / "fig6.txt").write_text(fig6)
+    print(fig6)
+    _binned_csv(out / "fig6.csv", {
+        "throughput": report.throughput.throughput_mbps,
+        "goodput": report.throughput.goodput_mbps,
+    })
+
+    _binned_csv(out / "fig7.csv", {"rts": report.rts_cts.rts, "cts": report.rts_cts.cts})
+    _binned_csv(out / "fig8.csv", {f"busy_{r:g}": report.busytime_share[r]
+                                   for r in (1.0, 2.0, 5.5, 11.0)})
+    _binned_csv(out / "fig9.csv", {f"bytes_{r:g}": report.bytes_per_rate[r]
+                                   for r in (1.0, 2.0, 5.5, 11.0)})
+    for fig, names in (
+        ("fig10", ("S-1", "S-2", "S-5.5", "S-11")),
+        ("fig11", ("XL-1", "XL-2", "XL-5.5", "XL-11")),
+        ("fig12", ("S-1", "M-1", "L-1", "XL-1")),
+        ("fig13", ("S-11", "M-11", "L-11", "XL-11")),
+    ):
+        _binned_csv(out / f"{fig}.csv",
+                    {n: report.transmissions[n] for n in names})
+    _binned_csv(out / "fig14.csv", {f"acked_{r:g}": report.reception[r]
+                                    for r in (1.0, 2.0, 5.5, 11.0)})
+    _binned_csv(out / "fig15.csv", {n: report.delays[n] for n in report.delays.names})
+
+    print(f"wrote per-figure CSVs and charts to {out}/")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="short durations")
+    parser.add_argument(
+        "--out", default=Path(__file__).parent / "results", type=Path
+    )
+    args = parser.parse_args()
+    reproduce(args.out, args.fast)
+
+
+if __name__ == "__main__":
+    main()

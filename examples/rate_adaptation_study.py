@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Rate-adaptation policy study (the paper's §7 recommendation).
+
+The paper concludes that loss-triggered rate adaptation (the ARF
+family) is *detrimental* under congestion because it cannot tell
+collision losses from channel-error losses, and suggests SNR-based
+schemes instead.  This study runs the same congested cell under four
+policies — ARF, AARF, an SNR oracle and fixed-11 — at several offered
+loads and reports goodput, 1 Mbps airtime, and delivery ratio.
+
+Usage::
+
+    python examples/rate_adaptation_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import goodput_per_second, utilization_series
+from repro.frames import FrameType
+from repro.sim import ConstantRate, ScenarioConfig, run_scenario
+from repro.viz import table
+
+POLICIES = ("arf", "aarf", "snr", "fixed")
+LOADS_PPS = (6.0, 14.0, 24.0)
+
+
+def run_cell(policy: str, downlink_pps: float) -> dict:
+    config = ScenarioConfig(
+        n_stations=12,
+        duration_s=20.0,
+        seed=41,
+        room_width_m=36.0,
+        room_depth_m=24.0,
+        shadowing_sigma_db=6.0,
+        path_loss_exponent=3.2,
+        station_tx_power_dbm=12.0,
+        rate_algorithm=policy,
+        rate_adaptation_kwargs=(
+            {"up_threshold": 5, "down_threshold": 3}
+            if policy in ("arf", "aarf")
+            else {}
+        ),
+        obstructed_fraction=0.25,
+        uplink=ConstantRate(downlink_pps / 3.0),
+        downlink=ConstantRate(downlink_pps),
+    )
+    result = run_scenario(config)
+    truth = result.ground_truth
+    data = truth.only_type(FrameType.DATA)
+    attempts = sum(s.mac.stats.data_attempts for s in result.stations)
+    attempts += result.aps[0].mac.stats.data_attempts
+    successes = sum(s.mac.stats.data_successes for s in result.stations)
+    successes += result.aps[0].mac.stats.data_successes
+    return {
+        "policy": policy,
+        "offered_pps": downlink_pps,
+        "goodput_Mbps": round(float(goodput_per_second(truth).mean()), 3),
+        "mean_util_%": round(float(utilization_series(truth).percent.mean()), 1),
+        "at_1Mbps": round(float(np.mean(data.rate_code == 0)), 3),
+        "delivery": round(successes / max(attempts, 1), 3),
+    }
+
+
+def main() -> None:
+    rows = []
+    for load in LOADS_PPS:
+        for policy in POLICIES:
+            print(f"running {policy} at {load:.0f} pps downlink ...")
+            rows.append(run_cell(policy, load))
+
+    print()
+    print(table(rows, title="Rate adaptation under increasing congestion"))
+    print(
+        "Reading: under heavy load the ARF family shifts airtime to 1 Mbps\n"
+        "(at_1Mbps column) and loses goodput, while the SNR oracle holds the\n"
+        "rate because collisions carry no SNR signal — the paper's §7 point.\n"
+        "Fixed-11 is the no-adaptation control: best when all links are\n"
+        "clean, worst for the obstructed users who genuinely need 1-2 Mbps."
+    )
+
+
+if __name__ == "__main__":
+    main()

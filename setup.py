@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`python setup.py develop`).
+
+The environment has no `wheel` package, so `pip install -e .` cannot
+build the editable wheel; this shim lets setuptools install directly.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

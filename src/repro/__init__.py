@@ -1,0 +1,31 @@
+"""repro — reproduction of "Understanding Congestion in IEEE 802.11b
+Wireless Networks" (Jardosh, Ramachandran, Almeroth, Belding-Royer;
+IMC 2005).
+
+Subpackages
+-----------
+``repro.core``      the paper's contribution: channel busy-time,
+                    utilization, congestion classification and the §6
+                    link-layer effect analyses.
+``repro.frames``    802.11 frame model and columnar trace container.
+``repro.sim``       discrete-event IEEE 802.11b DCF network simulator
+                    (the testbed substitute that generates traces).
+``repro.pcap``      pcap + radiotap + 802.11 header codec.
+``repro.analysis``  numpy columnar tables, binning, knee detection.
+``repro.baselines`` analytical comparators (Jun TMT, Heusse anomaly,
+                    Cantieni finite-load model, beacon reliability).
+``repro.viz``       ASCII chart rendering for terminal reports.
+
+Quickstart
+----------
+>>> from repro.sim import ScenarioConfig, run_scenario
+>>> from repro.core import analyze_trace
+>>> result = run_scenario(ScenarioConfig(n_stations=8, duration_s=5))
+>>> report = analyze_trace(result.trace, result.roster)
+>>> report.thresholds.high  # doctest: +SKIP
+84.0
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Analytical baselines the paper cites and cross-checks against.
+
+* Jun et al. theoretical maximum throughput [11] — Table 2's source and
+  the Figure 6 ceiling.
+* Heusse et al. multirate performance anomaly [8] — the collapse
+  mechanism.
+* Cantieni et al. finite-load multirate model [4] — predicts the S-11
+  success-probability advantage the paper confirms in §6.3.
+* Jardosh et al. beacon reliability [10] — the authors' prior
+  congestion metric, superseded by channel busy-time.
+"""
+
+from .beacon_reliability import BeaconReliability, beacon_reliability_series
+from .cantieni import DcfModelResult, FrameClass, bianchi_fixed_point, multirate_dcf_model
+from .heusse import AnomalyResult, anomaly_penalty, anomaly_throughput
+from .jun_throughput import TmtPoint, theoretical_maximum_throughput, tmt_table
+
+__all__ = [
+    "AnomalyResult",
+    "BeaconReliability",
+    "DcfModelResult",
+    "FrameClass",
+    "TmtPoint",
+    "anomaly_penalty",
+    "anomaly_throughput",
+    "beacon_reliability_series",
+    "bianchi_fixed_point",
+    "multirate_dcf_model",
+    "theoretical_maximum_throughput",
+    "tmt_table",
+]

@@ -1,0 +1,90 @@
+"""Beacon-reliability congestion metric (Jardosh et al., E-WIND 2005).
+
+The authors' own prior work (the paper's reference [10]) estimated
+congestion from the *reliability of beacon reception*: APs transmit
+beacons on a fixed 100 ms schedule, so the fraction of expected beacons
+a sniffer actually records in an interval measures how often the
+channel (or the capture path) swallowed them.  This paper supersedes
+that metric with channel busy-time; we implement the baseline so the
+two congestion estimators can be compared on the same traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import count_per_interval
+from ..frames import FrameType, NodeRoster, Trace
+
+__all__ = ["BeaconReliability", "beacon_reliability_series"]
+
+#: Expected beacons per AP per second at the standard 100 ms interval.
+_EXPECTED_PER_AP_PER_S = 10.0
+
+
+@dataclass(frozen=True)
+class BeaconReliability:
+    """Per-second beacon-reliability estimate for one trace.
+
+    ``reliability[i]`` is received/expected beacons in second ``i``,
+    clipped to [0, 1].  Low reliability indicates congestion (lost
+    beacons) by the E-WIND argument.
+    """
+
+    reliability: np.ndarray
+    expected_per_second: float
+
+    def __len__(self) -> int:
+        return len(self.reliability)
+
+    def congestion_estimate(self) -> np.ndarray:
+        """1 - reliability: the metric's notion of congestion level."""
+        return 1.0 - self.reliability
+
+    def correlation_with(self, utilization_percent: np.ndarray) -> float:
+        """Pearson correlation of (1 - reliability) with utilization.
+
+        The E-WIND claim is that the two move together; the paper's
+        position is that busy-time is the more direct measure.
+        """
+        congestion = self.congestion_estimate()
+        n = min(len(congestion), len(utilization_percent))
+        if n < 2:
+            return float("nan")
+        a, b = congestion[:n], np.asarray(utilization_percent)[:n]
+        if np.std(a) == 0 or np.std(b) == 0:
+            return float("nan")
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+def beacon_reliability_series(
+    trace: Trace,
+    roster: NodeRoster,
+    n_seconds: int | None = None,
+    start_us: int | None = None,
+) -> BeaconReliability:
+    """Compute per-second beacon reliability from a captured trace.
+
+    Expected beacon count is 10 per second per AP *audible in the
+    trace* (APs whose beacons never appear are assumed out of range,
+    matching how the E-WIND paper scoped its reliability metric).
+    """
+    beacons = trace.only_type(FrameType.BEACON)
+    audible_aps = {
+        int(ap) for ap in np.unique(beacons.src) if roster.get(int(ap)) is not None
+    }
+    expected = _EXPECTED_PER_AP_PER_S * max(len(audible_aps), 1)
+    counts = count_per_interval(
+        beacons,
+        interval_us=1_000_000,
+        start_us=start_us if start_us is not None else (
+            int(trace.time_us.min()) if len(trace) else 0
+        ),
+        n_intervals=n_seconds,
+    ).astype(np.float64)
+    reliability = np.clip(counts / expected, 0.0, 1.0)
+    return BeaconReliability(
+        reliability=reliability, expected_per_second=expected
+    )

@@ -1,0 +1,149 @@
+"""Online (streaming) congestion monitoring.
+
+The paper motivates its busy-time metric with "robust operation" of
+live networks, but its pipeline is offline.  This module closes that
+gap: :class:`OnlineCongestionMonitor` ingests captured frames one at a
+time (or in chunks), maintains the same Equation-7/8 busy-time
+accounting over completed one-second intervals, and classifies each
+second against congestion thresholds as soon as it closes — what an AP
+or monitoring daemon would run.
+
+The monitor is numerically identical to the offline pipeline: feeding
+it a whole trace reproduces :func:`repro.core.utilization_series`
+exactly (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frames import FrameRow, FrameType, Trace
+from .busytime import frame_cbt_us
+from .congestion import CongestionLevel, CongestionThresholds, PAPER_THRESHOLDS
+from .timing import DOT11B_TIMING, TimingParameters
+
+__all__ = ["SecondObservation", "OnlineCongestionMonitor"]
+
+
+@dataclass(frozen=True)
+class SecondObservation:
+    """One closed one-second interval, as the monitor saw it."""
+
+    second_index: int
+    utilization_percent: float
+    level: CongestionLevel
+    frames: int
+
+
+class OnlineCongestionMonitor:
+    """Incrementally classify congestion from a live frame feed.
+
+    Frames must arrive in non-decreasing timestamp order (captures are
+    chronological); a stale frame raises ``ValueError`` rather than
+    silently corrupting closed intervals.
+    """
+
+    def __init__(
+        self,
+        thresholds: CongestionThresholds = PAPER_THRESHOLDS,
+        timing: TimingParameters = DOT11B_TIMING,
+        start_us: int | None = None,
+    ) -> None:
+        self.thresholds = thresholds
+        self.timing = timing
+        self._start_us = start_us
+        self._current_second: int | None = None
+        self._busy_us = 0.0
+        self._frames = 0
+        self._history: list[SecondObservation] = []
+
+    # -- ingestion --------------------------------------------------------
+
+    def ingest(
+        self,
+        time_us: int,
+        ftype: FrameType,
+        size: int = 0,
+        rate_mbps: float = 1.0,
+    ) -> list[SecondObservation]:
+        """Feed one captured frame; returns any intervals this closes."""
+        if self._start_us is None:
+            self._start_us = int(time_us)
+        second = (int(time_us) - self._start_us) // 1_000_000
+        if second < 0 or (
+            self._current_second is not None and second < self._current_second
+        ):
+            raise ValueError(
+                f"frame at {time_us} us arrived out of order "
+                f"(current second {self._current_second})"
+            )
+        closed: list[SecondObservation] = []
+        if self._current_second is None:
+            self._current_second = second
+        while second > self._current_second:
+            closed.append(self._close_current())
+        self._busy_us += frame_cbt_us(ftype, size, rate_mbps, self.timing)
+        self._frames += 1
+        return closed
+
+    def ingest_row(self, row: FrameRow) -> list[SecondObservation]:
+        """Feed one :class:`FrameRow`."""
+        return self.ingest(row.time_us, row.ftype, row.size, row.rate_mbps)
+
+    def ingest_trace(self, trace: Trace) -> list[SecondObservation]:
+        """Feed a whole (time-sorted) trace; returns all closed seconds."""
+        closed: list[SecondObservation] = []
+        for row in trace.sorted_by_time().iter_rows():
+            closed.extend(self.ingest_row(row))
+        return closed
+
+    def flush(self) -> SecondObservation | None:
+        """Close the in-progress interval (end of capture)."""
+        if self._current_second is None:
+            return None
+        return self._close_current()
+
+    def _close_current(self) -> SecondObservation:
+        assert self._current_second is not None
+        percent = self._busy_us / 1_000_000.0 * 100.0
+        observation = SecondObservation(
+            second_index=self._current_second,
+            utilization_percent=percent,
+            level=self.thresholds.classify(percent),
+            frames=self._frames,
+        )
+        self._history.append(observation)
+        self._current_second += 1
+        self._busy_us = 0.0
+        self._frames = 0
+        return observation
+
+    # -- state --------------------------------------------------------
+
+    @property
+    def history(self) -> list[SecondObservation]:
+        """All closed intervals so far, oldest first."""
+        return list(self._history)
+
+    @property
+    def current_level(self) -> CongestionLevel | None:
+        """Level of the most recently closed second (None before any)."""
+        if not self._history:
+            return None
+        return self._history[-1].level
+
+    def utilization_array(self) -> np.ndarray:
+        """Closed-interval utilizations as an array (offline-compatible)."""
+        return np.array(
+            [obs.utilization_percent for obs in self._history], dtype=np.float64
+        )
+
+    def level_occupancy(self) -> dict[CongestionLevel, float]:
+        """Fraction of closed seconds per congestion level."""
+        n = max(len(self._history), 1)
+        return {
+            level: sum(1 for o in self._history if o.level == level) / n
+            for level in CongestionLevel
+        }

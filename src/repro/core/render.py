@@ -1,0 +1,134 @@
+"""Render a :class:`CongestionReport` as a terminal-ready text document.
+
+One call produces the whole paper-structure report: capture summary,
+utilization series, congestion classes, Figure-6 curves and the §6
+link-layer effect charts — the same artifact the benchmark suite writes
+per figure, but bundled for interactive use and the CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..viz import histogram_chart, line_chart, multi_line_chart, table
+from .congestion import CongestionLevel
+from .report import CongestionReport
+
+__all__ = ["render_report"]
+
+
+def _band(series, lo: float = 20.0, hi: float = 100.0):
+    return series.restricted(lo, hi)
+
+
+def render_report(report: CongestionReport, width: int = 70) -> str:
+    """Render ``report`` as a multi-section text document."""
+    parts: list[str] = []
+    parts.append(f"=== Congestion report: {report.name} ===\n")
+
+    # -- capture summary (Table 1) ----------------------------------------
+    parts.append(table([report.summary.as_row()], title="Capture summary"))
+
+    # -- utilization (Fig 5) ----------------------------------------------
+    series = report.utilization
+    parts.append(
+        line_chart(
+            series.seconds,
+            series.clipped(),
+            width=width,
+            title="Utilization per second",
+            x_label="second",
+            y_label="util %",
+        )
+    )
+    lefts, counts = series.histogram(bin_width=5.0)
+    parts.append(
+        histogram_chart(
+            lefts,
+            counts,
+            width=width,
+            title=f"Utilization frequency (mode {series.mode_percent(5.0):.0f}%)",
+            x_label="utilization %",
+        )
+    )
+
+    # -- congestion classes (§5.3) ---------------------------------------
+    lines = ["Congestion classes:"]
+    for level in CongestionLevel:
+        lines.append(
+            f"  {level.label:22s} {report.level_occupancy[level]:6.1%}"
+        )
+    lines.append(
+        f"  thresholds: low {report.thresholds.low:.0f}%, "
+        f"high {report.thresholds.high:.0f}%"
+    )
+    parts.append("\n".join(lines) + "\n")
+
+    # -- throughput/goodput (Fig 6) ---------------------------------------
+    tput = _band(report.throughput.throughput_mbps)
+    gput = _band(report.throughput.goodput_mbps)
+    if len(tput):
+        parts.append(
+            multi_line_chart(
+                tput.utilization,
+                {"throughput": tput.value, "goodput": gput.value},
+                width=width,
+                title="Throughput / goodput vs utilization (Fig 6)",
+                x_label="utilization %",
+            )
+        )
+        peak_util, peak = report.throughput.peak()
+        parts.append(f"peak {peak:.2f} Mbps at {peak_util:.0f}% utilization\n")
+
+    # -- rate share (Fig 8) -----------------------------------------------
+    shares = {
+        f"{rate:g} Mbps": _band(report.busytime_share[rate]).value
+        for rate in (1.0, 2.0, 5.5, 11.0)
+        if len(_band(report.busytime_share[rate]))
+    }
+    if shares:
+        axis = _band(report.busytime_share[1.0]).utilization
+        if len(axis):
+            parts.append(
+                multi_line_chart(
+                    axis,
+                    shares,
+                    width=width,
+                    title="Busy-time share per rate (Fig 8)",
+                    x_label="utilization %",
+                )
+            )
+
+    # -- RTS/CTS (Fig 7) ---------------------------------------------------
+    rts = _band(report.rts_cts.rts)
+    if len(rts) and np.nansum(rts.value) > 0:
+        cts = _band(report.rts_cts.cts)
+        parts.append(
+            multi_line_chart(
+                rts.utilization,
+                {"RTS": rts.value, "CTS": cts.value},
+                width=width,
+                title="RTS / CTS per second (Fig 7)",
+                x_label="utilization %",
+            )
+        )
+
+    # -- unrecorded frames (§4.4) -----------------------------------------
+    est = report.unrecorded
+    parts.append(
+        "Unrecorded-frame estimate (§4.4 atomicity): "
+        f"{est.unrecorded_percent:.1f}% "
+        f"(missing DATA {est.missing_data}, RTS {est.missing_rts}, "
+        f"CTS {est.missing_cts})\n"
+    )
+
+    # -- per-AP activity (Fig 4a) -----------------------------------------
+    if report.ap_activity is not None and len(report.ap_activity.table):
+        parts.append(
+            table(
+                report.ap_activity.table.head(15).to_rows(),
+                title="Most active APs (Fig 4a)",
+            )
+        )
+
+    return "\n".join(parts)

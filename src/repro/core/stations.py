@@ -1,0 +1,112 @@
+"""Per-station statistics and fairness (paper §6.1's fairness theme).
+
+The paper's fairness discussion (RTS/CTS users vs plain users) is one
+instance of a general question: how evenly does a congested DCF cell
+serve its stations?  This module computes per-station delivered frames,
+bytes, and airtime from a capture, plus Jain's fairness index over any
+of those quantities — the standard WLAN fairness measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis import ColumnTable
+from ..frames import FrameType, NodeRoster, Trace
+from .acking import match_acks
+from .busytime import trace_cbt_us
+
+__all__ = ["StationStats", "station_stats", "jain_fairness_index"]
+
+
+def jain_fairness_index(values: np.ndarray) -> float:
+    """Jain's index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+
+    Returns nan for empty input and 1.0 when every share is zero (an
+    idle cell starves no one).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return float("nan")
+    total = values.sum()
+    squares = (values**2).sum()
+    if squares == 0:
+        return 1.0
+    return float(total**2 / (values.size * squares))
+
+
+@dataclass(frozen=True)
+class StationStats:
+    """Per-station service measured from a capture.
+
+    ``table`` columns: ``station``, ``tx_frames`` (data attempts seen),
+    ``acked_frames``, ``acked_bytes``, ``airtime_us`` (channel busy time
+    of the station's transmissions and the responses they solicited).
+    """
+
+    table: ColumnTable
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def fairness(self, column: str = "acked_bytes") -> float:
+        """Jain's index over one service measure."""
+        return jain_fairness_index(self.table.column(column))
+
+    def share_of(self, station_id: int, column: str = "acked_bytes") -> float:
+        """One station's fraction of the total for ``column``."""
+        values = self.table.column(column).astype(np.float64)
+        total = values.sum()
+        if total == 0:
+            return 0.0
+        stations = self.table.column("station")
+        sel = stations == station_id
+        return float(values[sel].sum() / total)
+
+
+def station_stats(trace: Trace, roster: NodeRoster) -> StationStats:
+    """Measure per-station uplink service from a capture.
+
+    Only station-originated data frames count, mirroring the paper's
+    §6.1 focus on stations' channel access (the AP transmits on behalf
+    of everyone).
+    """
+    trace = trace.sorted_by_time()
+    match = match_acks(trace)
+    cbt = trace_cbt_us(trace)
+    is_data = trace.ftype == int(FrameType.DATA)
+    src = trace.src.astype(np.int64)
+    dst = trace.dst.astype(np.int64)
+
+    station_ids = np.array(roster.station_ids, dtype=np.int64)
+    tx_frames = np.zeros(len(station_ids), dtype=np.int64)
+    acked_frames = np.zeros(len(station_ids), dtype=np.int64)
+    acked_bytes = np.zeros(len(station_ids), dtype=np.int64)
+    airtime = np.zeros(len(station_ids), dtype=np.float64)
+
+    solicited = (
+        (trace.ftype == int(FrameType.ACK)) | (trace.ftype == int(FrameType.CTS))
+    )
+    own_tx = is_data | (trace.ftype == int(FrameType.RTS))
+
+    for i, sid in enumerate(station_ids):
+        mine = own_tx & (src == sid)
+        tx_frames[i] = int(np.count_nonzero(mine & is_data))
+        acked = match.acked & (src == sid)
+        acked_frames[i] = int(np.count_nonzero(acked))
+        acked_bytes[i] = int(trace.size[acked].sum())
+        airtime[i] = float(cbt[mine | (solicited & (dst == sid))].sum())
+
+    return StationStats(
+        table=ColumnTable(
+            {
+                "station": station_ids,
+                "tx_frames": tx_frames,
+                "acked_frames": acked_frames,
+                "acked_bytes": acked_bytes,
+                "airtime_us": airtime,
+            }
+        )
+    )

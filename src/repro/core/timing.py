@@ -1,0 +1,96 @@
+"""IEEE 802.11b timing components (paper §5.1, Table 2, Figure 1).
+
+All durations are in microseconds, exactly as the paper (which takes its
+values from Jun, Peddabachagari & Sichitiu, "Theoretical Maximum
+Throughput of IEEE 802.11 and its Applications", NCA 2003).
+
+The one modelling assumption the paper makes is ``D_BO = 0``: in a
+saturated network at least one station's backoff counter is always zero,
+so on average no channel time is attributed to backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TimingParameters",
+    "DOT11B_TIMING",
+    "data_frame_duration_us",
+    "data_frame_duration_us_array",
+]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Delay components of the 802.11b DCF protocol, in microseconds.
+
+    Field names follow Table 2 of the paper: ``difs_us`` is D_DIFS,
+    ``plcp_us`` is D_PLCP (the long-preamble PLCP header, always sent at
+    1 Mbps), and so on.  ``slot_us`` and the contention-window bounds are
+    not part of Table 2 but are needed by the DCF simulator substrate.
+    """
+
+    difs_us: float = 50.0
+    sifs_us: float = 10.0
+    rts_us: float = 352.0
+    cts_us: float = 304.0
+    ack_us: float = 304.0
+    beacon_us: float = 304.0
+    backoff_us: float = 0.0       # paper's D_BO = 0 assumption
+    plcp_us: float = 192.0
+    slot_us: float = 20.0         # 802.11b (long preamble) slot time
+    cw_min: int = 31              # paper §3: MaxBO from 31 ...
+    cw_max: int = 255             # ... to 255 slot times
+    mac_overhead_bytes: int = 34  # the "34" in D_DATA(size)(rate)
+
+    def data_frame_duration_us(self, size_bytes: float, rate_mbps: float) -> float:
+        """D_DATA(size)(rate) = D_PLCP + 8 * (34 + size) / rate  (Table 2).
+
+        ``rate_mbps`` is in Mbps so ``8 * bytes / rate`` is directly in
+        microseconds.
+        """
+        if rate_mbps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_mbps}")
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        return self.plcp_us + 8.0 * (self.mac_overhead_bytes + size_bytes) / rate_mbps
+
+    def data_frame_duration_us_array(
+        self, sizes: np.ndarray, rates_mbps: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`data_frame_duration_us`."""
+        sizes = np.asarray(sizes, dtype=np.float64)
+        rates = np.asarray(rates_mbps, dtype=np.float64)
+        if rates.size and rates.min() <= 0:
+            raise ValueError("rates must be positive")
+        return self.plcp_us + 8.0 * (self.mac_overhead_bytes + sizes) / rates
+
+    def as_table(self) -> list[tuple[str, float]]:
+        """Rows of the paper's Table 2, for report printing."""
+        return [
+            ("D_DIFS", self.difs_us),
+            ("D_SIFS", self.sifs_us),
+            ("D_RTS", self.rts_us),
+            ("D_CTS", self.cts_us),
+            ("D_ACK", self.ack_us),
+            ("D_BEACON", self.beacon_us),
+            ("D_BO", self.backoff_us),
+            ("D_PLCP", self.plcp_us),
+        ]
+
+
+#: The default 802.11b parameter set used throughout the reproduction.
+DOT11B_TIMING = TimingParameters()
+
+
+def data_frame_duration_us(size_bytes: float, rate_mbps: float) -> float:
+    """Module-level convenience for :meth:`TimingParameters.data_frame_duration_us`."""
+    return DOT11B_TIMING.data_frame_duration_us(size_bytes, rate_mbps)
+
+
+def data_frame_duration_us_array(sizes: np.ndarray, rates: np.ndarray) -> np.ndarray:
+    """Module-level convenience for the vectorised duration formula."""
+    return DOT11B_TIMING.data_frame_duration_us_array(sizes, rates)

@@ -1,0 +1,47 @@
+"""802.11 frame model substrate: frame taxonomy, size classes, traces."""
+
+from .dot11 import (
+    ACK_FRAME_BYTES,
+    BEACON_BODY_BYTES,
+    BROADCAST,
+    CTS_FRAME_BYTES,
+    DOT11_RATES_MBPS,
+    MAC_HEADER_BYTES,
+    NO_NODE,
+    RTS_FRAME_BYTES,
+    FrameType,
+    code_to_rate,
+    frame_type_from_dot11,
+    is_control,
+    is_data,
+    is_management,
+    rate_to_code,
+)
+from .records import FrameRow, NodeInfo, NodeRoster, Trace
+from .sizes import SIZE_CLASS_BOUNDS, SizeClass, size_class, size_class_array
+
+__all__ = [
+    "ACK_FRAME_BYTES",
+    "BEACON_BODY_BYTES",
+    "BROADCAST",
+    "CTS_FRAME_BYTES",
+    "DOT11_RATES_MBPS",
+    "MAC_HEADER_BYTES",
+    "NO_NODE",
+    "RTS_FRAME_BYTES",
+    "FrameType",
+    "FrameRow",
+    "NodeInfo",
+    "NodeRoster",
+    "Trace",
+    "SIZE_CLASS_BOUNDS",
+    "SizeClass",
+    "size_class",
+    "size_class_array",
+    "code_to_rate",
+    "frame_type_from_dot11",
+    "is_control",
+    "is_data",
+    "is_management",
+    "rate_to_code",
+]

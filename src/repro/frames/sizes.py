@@ -1,0 +1,68 @@
+"""The paper's four frame-size classes (§6).
+
+Small (S)       : 0-400 bytes      -- voice / audio / control-like data
+Medium (M)      : 401-800 bytes    -- interactive traffic
+Large (L)       : 801-1200 bytes   -- bulk transfer
+Extra-large (XL): > 1200 bytes     -- file transfer / video
+
+Size classes combine with the four 802.11b data rates into the 16
+``size-rate`` categories used by Figures 10-13 (e.g. ``S-11``, ``XL-1``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "SizeClass",
+    "SIZE_CLASS_BOUNDS",
+    "size_class",
+    "size_class_array",
+    "SIZE_CLASS_NAMES",
+]
+
+
+class SizeClass(enum.IntEnum):
+    """Frame-size class, ordered small to extra-large."""
+
+    S = 0
+    M = 1
+    L = 2
+    XL = 3
+
+
+#: Upper bound (inclusive) of each size class in bytes; XL is unbounded.
+SIZE_CLASS_BOUNDS = {
+    SizeClass.S: (0, 400),
+    SizeClass.M: (401, 800),
+    SizeClass.L: (801, 1200),
+    SizeClass.XL: (1201, None),
+}
+
+SIZE_CLASS_NAMES = {cls: cls.name for cls in SizeClass}
+
+#: Bin edges for ``numpy.digitize``: sizes <=400 -> 0, <=800 -> 1, ...
+_EDGES = np.array([400, 800, 1200], dtype=np.int64)
+
+
+def size_class(size_bytes: int) -> SizeClass:
+    """Classify a single frame size in bytes.
+
+    >>> size_class(60)
+    <SizeClass.S: 0>
+    >>> size_class(1500)
+    <SizeClass.XL: 3>
+    """
+    if size_bytes < 0:
+        raise ValueError(f"frame size must be non-negative, got {size_bytes}")
+    return SizeClass(int(np.digitize(size_bytes, _EDGES, right=True)))
+
+
+def size_class_array(sizes: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`size_class`; returns a ``uint8`` array of codes."""
+    sizes = np.asarray(sizes)
+    if sizes.size and sizes.min() < 0:
+        raise ValueError("frame sizes must be non-negative")
+    return np.digitize(sizes, _EDGES, right=True).astype(np.uint8)

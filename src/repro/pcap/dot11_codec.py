@@ -1,0 +1,144 @@
+"""Minimal IEEE 802.11 MAC header codec.
+
+Serialises the frame kinds the paper analyses into byte-exact 802.11
+MAC headers (the format a real RFMon capture would contain) and parses
+them back.  Node ids map to locally-administered MAC addresses
+``02:00:00:00:xx:xx``.
+
+Header layouts implemented:
+
+* DATA / management: Frame Control, Duration, addr1 (RA), addr2 (TA),
+  addr3 (BSSID), Sequence Control, then an opaque payload.
+* RTS: FC, Duration, RA, TA.
+* CTS / ACK: FC, Duration, RA (the 802.11 reason the paper's atomicity
+  rules must *infer* the transmitter of a lone CTS or ACK).
+* BEACON: management header + minimal fixed fields.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..frames import BROADCAST, NO_NODE, FrameType, frame_type_from_dot11
+
+__all__ = ["node_to_mac", "mac_to_node", "encode_frame", "decode_frame", "DecodedFrame"]
+
+_BCAST_MAC = b"\xff\xff\xff\xff\xff\xff"
+
+
+def node_to_mac(node_id: int) -> bytes:
+    """Map a simulator node id onto a deterministic MAC address."""
+    if node_id == BROADCAST:
+        return _BCAST_MAC
+    if not 0 <= node_id < 0xFFFE:
+        raise ValueError(f"node id out of range: {node_id}")
+    return bytes([0x02, 0, 0, 0, (node_id >> 8) & 0xFF, node_id & 0xFF])
+
+
+def mac_to_node(mac: bytes) -> int:
+    """Inverse of :func:`node_to_mac`."""
+    if mac == _BCAST_MAC:
+        return BROADCAST
+    if len(mac) != 6 or mac[0] != 0x02:
+        raise ValueError(f"not a reproduction MAC address: {mac.hex()}")
+    return (mac[4] << 8) | mac[5]
+
+
+def _frame_control(ftype: FrameType, retry: bool) -> int:
+    dot11_type, subtype = ftype.dot11_type_subtype
+    fc = (dot11_type << 2) | (subtype << 4)
+    if retry:
+        fc |= 1 << 11
+    return fc
+
+
+@dataclass(frozen=True)
+class DecodedFrame:
+    """Fields recovered from an 802.11 MAC header."""
+
+    ftype: FrameType
+    src: int
+    dst: int
+    seq: int
+    retry: bool
+    body_size: int  # payload bytes after the MAC header
+
+
+def encode_frame(
+    ftype: FrameType,
+    src: int,
+    dst: int,
+    seq: int = 0,
+    retry: bool = False,
+    body_size: int = 0,
+    duration_us: int = 0,
+) -> bytes:
+    """Serialise one frame to 802.11 MAC bytes (payload zero-filled).
+
+    ``body_size`` bytes of payload follow the header for data-bearing
+    frames; control frames ignore it.
+    """
+    fc = _frame_control(ftype, retry)
+    duration = min(max(int(duration_us), 0), 0x7FFF)
+    if ftype == FrameType.ACK or ftype == FrameType.CTS:
+        return struct.pack("<HH", fc, duration) + node_to_mac(dst)
+    if ftype == FrameType.RTS:
+        return (
+            struct.pack("<HH", fc, duration)
+            + node_to_mac(dst)
+            + node_to_mac(src)
+        )
+    # DATA / MGMT / BEACON: full 24-byte header + sequence control.
+    seq_ctrl = (int(seq) & 0x0FFF) << 4
+    header = (
+        struct.pack("<HH", fc, duration)
+        + node_to_mac(dst)
+        + node_to_mac(src)
+        + node_to_mac(src)  # BSSID: transmitter side of the link
+        + struct.pack("<H", seq_ctrl)
+    )
+    return header + bytes(int(body_size))
+
+
+def decode_frame(data: bytes) -> DecodedFrame:
+    """Parse 802.11 MAC bytes produced by :func:`encode_frame`.
+
+    ACK and CTS frames carry no transmitter address on the air; their
+    ``src`` decodes as :data:`repro.frames.NO_NODE`, exactly the
+    information loss the paper's §4.4 atomicity inference works around.
+    """
+    if len(data) < 10:
+        raise ValueError("frame too short for an 802.11 header")
+    fc, _duration = struct.unpack_from("<HH", data, 0)
+    dot11_type = (fc >> 2) & 0b11
+    subtype = (fc >> 4) & 0b1111
+    retry = bool(fc & (1 << 11))
+    ftype = frame_type_from_dot11(dot11_type, subtype)
+
+    if ftype in (FrameType.ACK, FrameType.CTS):
+        dst = mac_to_node(data[4:10])
+        return DecodedFrame(
+            ftype=ftype, src=NO_NODE, dst=dst, seq=0, retry=retry, body_size=0
+        )
+    if ftype == FrameType.RTS:
+        if len(data) < 16:
+            raise ValueError("truncated RTS")
+        dst = mac_to_node(data[4:10])
+        src = mac_to_node(data[10:16])
+        return DecodedFrame(
+            ftype=ftype, src=src, dst=dst, seq=0, retry=retry, body_size=0
+        )
+    if len(data) < 24:
+        raise ValueError("truncated data/management header")
+    dst = mac_to_node(data[4:10])
+    src = mac_to_node(data[10:16])
+    (seq_ctrl,) = struct.unpack_from("<H", data, 22)
+    return DecodedFrame(
+        ftype=ftype,
+        src=src,
+        dst=dst,
+        seq=seq_ctrl >> 4,
+        retry=retry,
+        body_size=len(data) - 24,
+    )

@@ -1,0 +1,109 @@
+"""Discrete-event IEEE 802.11b DCF network simulator.
+
+The trace-producing substitute for the paper's IETF-62 testbed: DCF
+MACs with pluggable rate adaptation contend on a shared medium with
+path-loss/shadowing propagation, collisions and capture, while passive
+sniffers record what a vicinity-sniffing laptop would have captured.
+"""
+
+from .channel_manager import ChannelManager, ChannelManagerConfig, ChannelSwitch
+from .dcf import DcfMac, MacConfig, MacStats
+from .engine import EventHandle, Simulator
+from .medium import Medium, SimFrame, Transmission
+from .node import BEACON_INTERVAL_US, AccessPoint, Station
+from .phy import BASIC_RATE_MBPS, PhyModel, snr_db_to_linear
+from .power_control import PowerControlConfig, TransmitPowerControl
+from .propagation import Position, PropagationModel
+from .roaming import Roam, RoamingConfig, RoamingManager
+from .rate_adaptation import (
+    AarfRateAdaptation,
+    ArfRateAdaptation,
+    FixedRate,
+    RateAdaptation,
+    SnrOracleRateAdaptation,
+    make_rate_adaptation,
+)
+from .scenarios import (
+    RAMP_MIX,
+    ScenarioConfig,
+    ScenarioResult,
+    ietf_day_config,
+    ietf_plenary_config,
+    load_ramp_config,
+    run_scenario,
+)
+from .sniffer import Sniffer, SnifferConfig, ground_truth_trace
+from .topology import place_aps, place_stations, sniffer_position
+from .traffic import (
+    BULK_MIX,
+    ClosedLoopSource,
+    ModulatedRate,
+    ScaledRate,
+    CONFERENCE_MIX,
+    VOICE_MIX,
+    WEB_MIX,
+    ConstantRate,
+    LinearRamp,
+    PoissonSource,
+    StepSchedule,
+    class_mixture,
+    uniform_sizes,
+)
+
+__all__ = [
+    "AarfRateAdaptation",
+    "AccessPoint",
+    "ArfRateAdaptation",
+    "BASIC_RATE_MBPS",
+    "BEACON_INTERVAL_US",
+    "BULK_MIX",
+    "ChannelManager",
+    "ClosedLoopSource",
+    "ChannelManagerConfig",
+    "ChannelSwitch",
+    "CONFERENCE_MIX",
+    "ConstantRate",
+    "DcfMac",
+    "EventHandle",
+    "FixedRate",
+    "LinearRamp",
+    "MacConfig",
+    "MacStats",
+    "Medium",
+    "ModulatedRate",
+    "PhyModel",
+    "PoissonSource",
+    "Position",
+    "PowerControlConfig",
+    "PropagationModel",
+    "RAMP_MIX",
+    "RateAdaptation",
+    "Roam",
+    "RoamingConfig",
+    "RoamingManager",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SimFrame",
+    "Simulator",
+    "Sniffer",
+    "ScaledRate",
+    "SnifferConfig",
+    "SnrOracleRateAdaptation",
+    "Station",
+    "StepSchedule",
+    "Transmission",
+    "TransmitPowerControl",
+    "VOICE_MIX",
+    "WEB_MIX",
+    "class_mixture",
+    "ground_truth_trace",
+    "ietf_day_config",
+    "ietf_plenary_config",
+    "load_ramp_config",
+    "make_rate_adaptation",
+    "place_aps",
+    "place_stations",
+    "run_scenario",
+    "sniffer_position",
+    "uniform_sizes",
+]

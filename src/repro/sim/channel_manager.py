@@ -1,0 +1,140 @@
+"""Dynamic channel assignment (paper §4.1).
+
+The IETF's Airespace APs "switch[ed] channels dynamically to balance the
+number of users and traffic volume on the three channels"; the details
+were proprietary.  This manager implements the observable behaviour: it
+periodically measures per-channel traffic volume and, when one channel
+carries disproportionately more than the lightest one *and* hosts more
+than one AP, moves that channel's least-loaded AP — stations follow
+their AP, as infrastructure clients do.
+
+Switches are rate-limited per AP (cooldown) to avoid flip-flopping, and
+an AP is only moved while its MAC is quiescent.  A station's carrier-
+sense state self-corrects within one frame time after a switch (stale
+busy entries are cleared when their transmissions end), which is far
+below the one-second analysis granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .engine import Simulator
+from .medium import Medium
+from .node import AccessPoint, Station
+
+__all__ = ["ChannelSwitch", "ChannelManagerConfig", "ChannelManager"]
+
+
+@dataclass(frozen=True)
+class ChannelSwitch:
+    """One recorded channel reassignment."""
+
+    time_us: int
+    ap_id: int
+    old_channel: int
+    new_channel: int
+
+
+@dataclass(frozen=True)
+class ChannelManagerConfig:
+    """Rebalancing policy parameters."""
+
+    interval_us: int = 5_000_000      # measurement/decision period
+    imbalance_ratio: float = 1.5      # heaviest/lightest load trigger
+    cooldown_us: int = 15_000_000     # per-AP minimum time between moves
+
+    def __post_init__(self) -> None:
+        if self.interval_us <= 0 or self.cooldown_us < 0:
+            raise ValueError("intervals must be positive")
+        if self.imbalance_ratio < 1.0:
+            raise ValueError("imbalance_ratio must be >= 1")
+
+
+class ChannelManager:
+    """Periodic per-channel load balancing across a set of APs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        aps: list[AccessPoint],
+        stations: list[Station],
+        channels: tuple[int, ...],
+        config: ChannelManagerConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.medium = medium
+        self.aps = aps
+        self.stations = stations
+        self.channels = channels
+        self.config = config or ChannelManagerConfig()
+        self.switches: list[ChannelSwitch] = []
+        self._last_seen = 0               # ground-truth index watermark
+        self._last_switch: dict[int, int] = {}
+        sim.schedule_in(self.config.interval_us, self._evaluate)
+
+    # -- measurement --------------------------------------------------------
+
+    def _interval_load(self) -> dict[int, int]:
+        """Frames transmitted per channel since the last evaluation."""
+        records = self.medium.ground_truth
+        load = {ch: 0 for ch in self.channels}
+        for _, frame in records[self._last_seen:]:
+            if frame.channel in load:
+                load[frame.channel] += 1
+        self._last_seen = len(records)
+        return load
+
+    def _aps_on(self, channel: int) -> list[AccessPoint]:
+        return [ap for ap in self.aps if ap.channel == channel]
+
+    # -- decision --------------------------------------------------------
+
+    def _evaluate(self) -> None:
+        load = self._interval_load()
+        self._maybe_rebalance(load)
+        self.sim.schedule_in(self.config.interval_us, self._evaluate)
+
+    def _maybe_rebalance(self, load: dict[int, int]) -> None:
+        heavy = max(load, key=lambda ch: load[ch])
+        light = min(load, key=lambda ch: load[ch])
+        if heavy == light:
+            return
+        if load[heavy] < self.config.imbalance_ratio * max(load[light], 1):
+            return
+        candidates = self._aps_on(heavy)
+        if len(candidates) < 2:
+            return  # moving a lone AP moves its load with it: pointless
+        now = self.sim.now_us
+        movable = [
+            ap
+            for ap in candidates
+            if now - self._last_switch.get(ap.node_id, -(10**12))
+            >= self.config.cooldown_us
+            and ap.mac.queue_length == 0
+        ]
+        if not movable:
+            return
+        # Move the least-loaded AP (fewest associated stations).
+        ap = min(movable, key=lambda a: len(a.stations))
+        self._switch(ap, light)
+
+    def _switch(self, ap: AccessPoint, new_channel: int) -> None:
+        old = ap.channel
+        ap.channel = new_channel
+        ap.mac.channel = new_channel
+        for station in self.stations:
+            if station.ap_id == ap.node_id:
+                station.mac.channel = new_channel
+        self._last_switch[ap.node_id] = self.sim.now_us
+        self.switches.append(
+            ChannelSwitch(
+                time_us=self.sim.now_us,
+                ap_id=ap.node_id,
+                old_channel=old,
+                new_channel=new_channel,
+            )
+        )

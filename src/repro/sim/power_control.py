@@ -1,0 +1,84 @@
+"""Transmit power control (the paper's §7 second recommendation).
+
+"As another strategy to utilize high data rates, clients may choose to
+dynamically change the transmit power such that data frames are
+consistently transmitted at high data rates."  This module implements
+that strategy: a station tracks the SNR of frames heard from its peer
+(the same feedback the SNR-oracle rate adaptation uses) and raises its
+transmit power when the implied forward-link SNR is too low to sustain
+the highest rate — up to a regulatory cap.
+
+The controller is deliberately simple (proportional step toward a
+target SNR) because the paper proposes the *mechanism*, not a specific
+algorithm; the ablation benchmark compares congested-cell behaviour
+with and without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PowerControlConfig", "TransmitPowerControl"]
+
+
+@dataclass(frozen=True)
+class PowerControlConfig:
+    """Bounds and target of the power controller."""
+
+    target_snr_db: float = 14.0      # comfortable for 11 Mbps in our PHY
+    min_power_dbm: float = 0.0
+    max_power_dbm: float = 20.0      # regulatory-cap stand-in
+    step_limit_db: float = 3.0       # max adjustment per update
+    ewma_alpha: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_power_dbm > self.max_power_dbm:
+            raise ValueError("min power above max power")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
+@dataclass
+class TransmitPowerControl:
+    """Per-link closed-loop transmit power selection.
+
+    ``power_for(dst)`` is consulted before each transmission;
+    ``on_feedback_snr(dst, snr)`` feeds it reverse-link observations.
+    The forward-link SNR is assumed to move dB-for-dB with our transmit
+    power (true under reciprocal path loss), so the controller steps the
+    power by the SNR deficit, bounded by ``step_limit_db`` per update.
+    """
+
+    base_power_dbm: float
+    config: PowerControlConfig = field(default_factory=PowerControlConfig)
+    _snr: dict[int, float] = field(default_factory=dict)
+    _power: dict[int, float] = field(default_factory=dict)
+
+    def power_for(self, dst: int) -> float:
+        """Transmit power (dBm) to use toward ``dst``."""
+        return self._power.get(dst, self.base_power_dbm)
+
+    def on_feedback_snr(self, dst: int, snr_db: float) -> None:
+        """Update the link estimate and re-plan the power level."""
+        cfg = self.config
+        old = self._snr.get(dst)
+        if old is None:
+            estimate = snr_db
+        else:
+            estimate = (1 - cfg.ewma_alpha) * old + cfg.ewma_alpha * snr_db
+        self._snr[dst] = estimate
+
+        current = self.power_for(dst)
+        # The peer's rx SNR from us moves with our power; the feedback
+        # we hear was produced by the peer's power, so use the deficit
+        # as a directional signal rather than an absolute calibration.
+        deficit = cfg.target_snr_db - estimate
+        step = max(-cfg.step_limit_db, min(cfg.step_limit_db, deficit))
+        self._power[dst] = max(
+            cfg.min_power_dbm, min(cfg.max_power_dbm, current + step)
+        )
+
+    def reset(self, dst: int) -> None:
+        """Forget a link (e.g. on reassociation)."""
+        self._snr.pop(dst, None)
+        self._power.pop(dst, None)

@@ -1,0 +1,45 @@
+"""Multirate adaptation algorithms (paper §3 and §7).
+
+The 802.11 standard leaves rate adaptation to vendors; the paper blames
+loss-triggered schemes (the ARF family) for the congestion collapse it
+measures, because they cannot tell collision losses from channel-error
+losses.  We implement:
+
+* :class:`FixedRate` — no adaptation (baseline/ablation).
+* :class:`ArfRateAdaptation` — Auto Rate Fallback (Kamerman & Monteban),
+  the "generic ARF implementation" the paper describes.
+* :class:`AarfRateAdaptation` — Adaptive ARF, which backs off its probe
+  frequency after failed upgrades.
+* :class:`SnrOracleRateAdaptation` — an SNR-aware scheme in the spirit
+  of RBAR/OAR, the paper's §7 recommendation: pick the highest rate
+  whose predicted error rate at the observed SNR is acceptable,
+  regardless of collision losses.
+"""
+
+from .base import RateAdaptation
+from .fixed import FixedRate
+from .arf import AarfRateAdaptation, ArfRateAdaptation
+from .snr import SnrOracleRateAdaptation
+
+__all__ = [
+    "RateAdaptation",
+    "FixedRate",
+    "ArfRateAdaptation",
+    "AarfRateAdaptation",
+    "SnrOracleRateAdaptation",
+    "make_rate_adaptation",
+]
+
+
+def make_rate_adaptation(name: str, **kwargs) -> RateAdaptation:
+    """Factory by algorithm name: ``fixed``, ``arf``, ``aarf``, ``snr``."""
+    name = name.lower()
+    if name == "fixed":
+        return FixedRate(**kwargs)
+    if name == "arf":
+        return ArfRateAdaptation(**kwargs)
+    if name == "aarf":
+        return AarfRateAdaptation(**kwargs)
+    if name == "snr":
+        return SnrOracleRateAdaptation(**kwargs)
+    raise ValueError(f"unknown rate adaptation algorithm: {name!r}")

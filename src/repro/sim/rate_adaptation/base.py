@@ -1,0 +1,35 @@
+"""Rate adaptation interface.
+
+A rate-adaptation object lives inside one station's MAC and is consulted
+before every transmission attempt; the MAC reports the outcome of each
+attempt (ACKed or timed out) and the SNR of any frames heard back from
+the peer, which SNR-based schemes use as channel-state feedback.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["RateAdaptation"]
+
+
+class RateAdaptation(abc.ABC):
+    """Per-link transmit-rate selection policy."""
+
+    @abc.abstractmethod
+    def rate_for(self, dst: int) -> float:
+        """Rate (Mbps) to use for the next transmission to ``dst``."""
+
+    @abc.abstractmethod
+    def on_success(self, dst: int) -> None:
+        """The last data frame to ``dst`` was acknowledged."""
+
+    @abc.abstractmethod
+    def on_failure(self, dst: int) -> None:
+        """The last data frame to ``dst`` timed out without an ACK."""
+
+    def on_feedback_snr(self, dst: int, snr_db: float) -> None:
+        """SNR observed on a frame received *from* ``dst`` (optional)."""
+
+    def reset(self, dst: int) -> None:
+        """Forget state for a link (e.g. on reassociation)."""

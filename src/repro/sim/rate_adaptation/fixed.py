@@ -1,0 +1,26 @@
+"""Fixed-rate policy: always transmit at one configured rate."""
+
+from __future__ import annotations
+
+from ...frames import DOT11_RATES_MBPS
+from .base import RateAdaptation
+
+__all__ = ["FixedRate"]
+
+
+class FixedRate(RateAdaptation):
+    """No adaptation; the ablation baseline for the ARF study."""
+
+    def __init__(self, rate_mbps: float = 11.0) -> None:
+        if rate_mbps not in DOT11_RATES_MBPS:
+            raise ValueError(f"{rate_mbps!r} is not an 802.11b rate")
+        self._rate = float(rate_mbps)
+
+    def rate_for(self, dst: int) -> float:
+        return self._rate
+
+    def on_success(self, dst: int) -> None:
+        pass
+
+    def on_failure(self, dst: int) -> None:
+        pass

@@ -1,0 +1,136 @@
+"""Station roaming / AP handoff (paper §2, citing Mishra et al. [15]).
+
+Conference clients reassociate when another AP's beacons come in
+stronger than their serving AP's — the handoff behaviour Mishra et al.
+measured and the reason the paper's Figure 4(b) association counts
+move.  The manager periodically "scans" (evaluates beacon SNR from
+every AP via the propagation model, which is what a real scan measures)
+and moves a station when a candidate beats its serving AP by a
+hysteresis margin, with a per-station cooldown against ping-ponging.
+
+A roam re-targets the station's MAC channel, updates the AP association
+lists and the downlink router, and emits a reassociation MGMT frame —
+so captures show the handoff exactly as a sniffer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frames import FrameType
+from .engine import Simulator
+from .node import AccessPoint, Station
+from .propagation import PropagationModel
+
+__all__ = ["Roam", "RoamingConfig", "RoamingManager"]
+
+
+@dataclass(frozen=True)
+class Roam:
+    """One recorded handoff."""
+
+    time_us: int
+    station_id: int
+    old_ap: int
+    new_ap: int
+
+
+@dataclass(frozen=True)
+class RoamingConfig:
+    """Handoff policy parameters."""
+
+    scan_interval_us: int = 2_000_000
+    hysteresis_db: float = 4.0        # candidate must beat serving by this
+    cooldown_us: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.scan_interval_us <= 0 or self.cooldown_us < 0:
+            raise ValueError("intervals must be positive")
+        if self.hysteresis_db < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+
+class RoamingManager:
+    """Periodic best-AP evaluation and reassociation for all stations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        propagation: PropagationModel,
+        aps: list[AccessPoint],
+        stations: list[Station],
+        downlink_router: dict[int, AccessPoint],
+        config: RoamingConfig | None = None,
+        ap_tx_power_dbm: float = 18.0,
+    ) -> None:
+        self.sim = sim
+        self.propagation = propagation
+        self.aps = aps
+        self.stations = stations
+        self.router = downlink_router
+        self.config = config or RoamingConfig()
+        self.ap_tx_power_dbm = ap_tx_power_dbm
+        self.roams: list[Roam] = []
+        self._last_roam: dict[int, int] = {}
+        sim.schedule_in(self.config.scan_interval_us, self._scan)
+
+    # -- measurement --------------------------------------------------------
+
+    def beacon_snr_db(self, station: Station, ap: AccessPoint) -> float:
+        """Long-run beacon SNR of ``ap`` at ``station`` (a scan result)."""
+        rx = self.propagation.received_power_dbm(
+            self.ap_tx_power_dbm,
+            ap.mac.position,
+            station.mac.position,
+            tx_id=ap.node_id,
+            rx_id=station.node_id,
+        )
+        return rx - self.propagation.noise_floor_dbm
+
+    def best_ap(self, station: Station) -> AccessPoint:
+        """The AP with the strongest beacons at this station."""
+        return max(self.aps, key=lambda ap: self.beacon_snr_db(station, ap))
+
+    # -- the scan/roam loop -------------------------------------------------
+
+    def _scan(self) -> None:
+        now = self.sim.now_us
+        for station in self.stations:
+            last = self._last_roam.get(station.node_id)
+            if last is not None and now - last < self.config.cooldown_us:
+                continue
+            serving = next(
+                (ap for ap in self.aps if ap.node_id == station.ap_id), None
+            )
+            if serving is None:
+                continue
+            candidate = self.best_ap(station)
+            if candidate.node_id == serving.node_id:
+                continue
+            gain = self.beacon_snr_db(station, candidate) - self.beacon_snr_db(
+                station, serving
+            )
+            if gain >= self.config.hysteresis_db:
+                self._roam(station, serving, candidate)
+        self.sim.schedule_in(self.config.scan_interval_us, self._scan)
+
+    def _roam(
+        self, station: Station, old: AccessPoint, new: AccessPoint
+    ) -> None:
+        if station.node_id in old.stations:
+            old.stations.remove(station.node_id)
+        new.associate(station.node_id)
+        station.ap_id = new.node_id
+        station.mac.channel = new.channel
+        self.router[station.node_id] = new
+        # Reassociation management exchange, visible to sniffers.
+        station.mac.enqueue(new.node_id, 64, FrameType.MGMT)
+        self._last_roam[station.node_id] = self.sim.now_us
+        self.roams.append(
+            Roam(
+                time_us=self.sim.now_us,
+                station_id=station.node_id,
+                old_ap=old.node_id,
+                new_ap=new.node_id,
+            )
+        )

@@ -1,0 +1,306 @@
+"""Traffic generation: Poisson arrivals with application size mixes.
+
+The paper maps its size classes onto applications (§6): S frames are
+voice/audio and control-ish traffic, M/L interactive and web, XL file
+transfer and video.  Generators produce MSDUs with a configurable size
+mixture and a (possibly time-varying) arrival rate — the load ramp used
+to sweep channel utilization across the 30-99 % range the paper studies
+is just a generator whose rate grows over the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..frames import FrameType
+from .engine import Simulator
+
+__all__ = [
+    "SizeSampler",
+    "uniform_sizes",
+    "class_mixture",
+    "VOICE_MIX",
+    "WEB_MIX",
+    "BULK_MIX",
+    "CONFERENCE_MIX",
+    "RateSchedule",
+    "ConstantRate",
+    "LinearRamp",
+    "StepSchedule",
+    "ScaledRate",
+    "ModulatedRate",
+    "PoissonSource",
+    "ClosedLoopSource",
+]
+
+SizeSampler = Callable[[np.random.Generator], int]
+
+
+def uniform_sizes(low: int, high: int) -> SizeSampler:
+    """Frame sizes uniform in [low, high] bytes."""
+    if not 0 <= low <= high:
+        raise ValueError(f"invalid size range [{low}, {high}]")
+
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.integers(low, high + 1))
+
+    return sample
+
+
+#: Representative byte ranges per size class (midpoints of the paper's bands).
+_CLASS_RANGES = {
+    "S": (60, 400),
+    "M": (401, 800),
+    "L": (801, 1200),
+    "XL": (1201, 1500),
+}
+
+
+def class_mixture(weights: dict[str, float]) -> SizeSampler:
+    """Sample sizes from the S/M/L/XL classes with the given weights.
+
+    >>> sampler = class_mixture({"S": 0.5, "XL": 0.5})
+    """
+    names = list(weights)
+    unknown = set(names) - set(_CLASS_RANGES)
+    if unknown:
+        raise ValueError(f"unknown size classes: {sorted(unknown)}")
+    probs = np.array([weights[n] for n in names], dtype=np.float64)
+    if probs.sum() <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probs = probs / probs.sum()
+    ranges = [_CLASS_RANGES[n] for n in names]
+
+    def sample(rng: np.random.Generator) -> int:
+        idx = int(rng.choice(len(names), p=probs))
+        low, high = ranges[idx]
+        return int(rng.integers(low, high + 1))
+
+    return sample
+
+
+#: Application profiles used by the scenarios.
+VOICE_MIX = class_mixture({"S": 1.0})
+WEB_MIX = class_mixture({"S": 0.3, "M": 0.3, "L": 0.2, "XL": 0.2})
+BULK_MIX = class_mixture({"XL": 0.85, "L": 0.15})
+#: Conference-floor blend: lots of small frames (TCP acks, SSH, audio)
+#: plus a heavy XL tail (downloads, slide decks) and thin M/L middle —
+#: the shape that makes S and XL dominate as in the paper's Figs 10-13.
+CONFERENCE_MIX = class_mixture({"S": 0.45, "M": 0.08, "L": 0.07, "XL": 0.40})
+
+
+class RateSchedule(Protocol):
+    """Offered-load schedule: packets/second as a function of sim time."""
+
+    def rate_at(self, time_us: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class ConstantRate:
+    """Fixed arrival rate."""
+
+    pps: float
+
+    def rate_at(self, time_us: int) -> float:
+        return self.pps
+
+
+@dataclass(frozen=True)
+class LinearRamp:
+    """Rate climbing linearly from ``start_pps`` to ``end_pps``."""
+
+    start_pps: float
+    end_pps: float
+    duration_us: int
+
+    def rate_at(self, time_us: int) -> float:
+        if self.duration_us <= 0:
+            return self.end_pps
+        f = min(max(time_us / self.duration_us, 0.0), 1.0)
+        return self.start_pps + f * (self.end_pps - self.start_pps)
+
+
+@dataclass(frozen=True)
+class ScaledRate:
+    """A base schedule multiplied by a constant factor."""
+
+    base: "RateSchedule"
+    factor: float
+
+    def rate_at(self, time_us: int) -> float:
+        return self.base.rate_at(time_us) * self.factor
+
+
+class ModulatedRate:
+    """Multiplicative burst modulation of a base schedule.
+
+    Real WLAN traffic is bursty: per-second offered load at a fixed mean
+    varies over an order of magnitude (web page fetches, file transfers
+    starting and finishing).  This wrapper redraws a log-normal
+    multiplier (unit mean) every ``period_us``, which is what populates
+    the intermediate utilization bins of Figures 6-15 — without it an
+    open-loop network snaps straight from underload to saturation.
+    """
+
+    def __init__(
+        self,
+        base: "RateSchedule",
+        sigma: float = 0.8,
+        period_us: int = 2_000_000,
+        seed: int = 99,
+    ) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if period_us <= 0:
+            raise ValueError("period_us must be positive")
+        self.base = base
+        self.sigma = sigma
+        self.period_us = period_us
+        self._seed = seed
+        self._cache: dict[int, float] = {}
+
+    def _multiplier(self, epoch: int) -> float:
+        value = self._cache.get(epoch)
+        if value is None:
+            rng = np.random.default_rng((self._seed, epoch))
+            # mean-one log-normal: E[exp(N(-s^2/2, s^2))] = 1
+            value = float(
+                np.exp(rng.normal(-self.sigma**2 / 2.0, self.sigma))
+            )
+            self._cache[epoch] = value
+        return value
+
+    def rate_at(self, time_us: int) -> float:
+        epoch = int(time_us) // self.period_us
+        return self.base.rate_at(time_us) * self._multiplier(epoch)
+
+
+@dataclass(frozen=True)
+class StepSchedule:
+    """Piecewise-constant rate: ``steps`` is [(start_us, pps), ...] sorted."""
+
+    steps: tuple[tuple[int, float], ...]
+
+    def rate_at(self, time_us: int) -> float:
+        rate = 0.0
+        for start_us, pps in self.steps:
+            if time_us >= start_us:
+                rate = pps
+            else:
+                break
+        return rate
+
+
+class PoissonSource:
+    """Non-homogeneous Poisson MSDU source feeding one MAC queue.
+
+    Arrivals are generated by sampling an exponential gap at the current
+    rate; for slowly-varying schedules (our ramps) this is an accurate
+    approximation of thinning and costs one event per packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        enqueue: Callable[[int, int, FrameType], object],
+        dst: int,
+        schedule: RateSchedule,
+        sizes: SizeSampler,
+        rng: np.random.Generator,
+        start_us: int = 0,
+        end_us: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.enqueue = enqueue
+        self.dst = dst
+        self.schedule = schedule
+        self.sizes = sizes
+        self.rng = rng
+        self.end_us = end_us
+        self.packets_offered = 0
+        sim.schedule_at(max(start_us, 0), self._arrival_loop)
+
+    def _arrival_loop(self) -> None:
+        now = self.sim.now_us
+        if self.end_us is not None and now >= self.end_us:
+            return
+        rate = self.schedule.rate_at(now)
+        if rate <= 0:
+            # Idle period: poll again in 100 ms for the schedule to wake.
+            self.sim.schedule_in(100_000, self._arrival_loop)
+            return
+        gap_us = max(1, int(self.rng.exponential(1e6 / rate)))
+        self.sim.schedule_in(gap_us, self._emit_then_continue)
+
+    def _emit_then_continue(self) -> None:
+        now = self.sim.now_us
+        if self.end_us is None or now < self.end_us:
+            size = self.sizes(self.rng)
+            self.enqueue(self.dst, size, FrameType.DATA)
+            self.packets_offered += 1
+        self._arrival_loop()
+
+
+class ClosedLoopSource:
+    """Window-limited transfer: a TCP-like self-limiting source.
+
+    Open-loop Poisson sources keep offering load into a congested
+    channel; real conference traffic was mostly TCP, which limits the
+    data in flight.  This source keeps at most ``window`` MSDUs
+    outstanding in the MAC: each completion (delivery or drop) releases
+    the next one after ``think_time_us``.  Under congestion its offered
+    rate automatically tracks the channel's service rate — the
+    self-limiting behaviour the paper's network exhibited between
+    congestion episodes.
+    """
+
+    def __init__(
+        self,
+        mac,
+        dst: int,
+        sizes: SizeSampler,
+        rng: np.random.Generator,
+        window: int = 4,
+        think_time_us: int = 0,
+        total_msdus: int | None = None,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.mac = mac
+        self.dst = dst
+        self.sizes = sizes
+        self.rng = rng
+        self.window = window
+        self.think_time_us = think_time_us
+        self.total_msdus = total_msdus
+        self.sent = 0
+        self.completed = 0
+        self.delivered = 0
+        if mac.on_msdu_complete is not None:
+            raise ValueError("MAC already has an MSDU-completion consumer")
+        mac.on_msdu_complete = self._on_complete
+        for _ in range(window):
+            self._inject()
+
+    def _exhausted(self) -> bool:
+        return self.total_msdus is not None and self.sent >= self.total_msdus
+
+    def _inject(self) -> None:
+        if self._exhausted():
+            return
+        self.mac.enqueue(self.dst, self.sizes(self.rng), FrameType.DATA)
+        self.sent += 1
+
+    def _on_complete(self, dst: int, success: bool) -> None:
+        if dst != self.dst:
+            return
+        self.completed += 1
+        if success:
+            self.delivered += 1
+        if self.think_time_us > 0:
+            self.mac.sim.schedule_in(self.think_time_us, self._inject)
+        else:
+            self._inject()

@@ -1,0 +1,115 @@
+"""Command-line interface: simulate, analyze and inspect traces.
+
+Usage::
+
+    python -m repro.tools simulate out.pcap --stations 10 --duration 20
+    python -m repro.tools analyze capture.pcap
+    python -m repro.tools info capture.pcap
+
+``simulate`` runs a scenario and writes the sniffer capture as a real
+radiotap pcap; ``analyze`` runs the full paper pipeline on a pcap and
+prints the rendered congestion report; ``info`` prints the Table-1
+style summary only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import analyze_trace, dataset_summary
+from .core.render import render_report
+from .pcap import read_trace, write_trace
+from .sim import ConstantRate, ScenarioConfig, run_scenario
+from .viz import table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="802.11b congestion-analysis toolkit (IMC 2005 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser(
+        "simulate", help="run a scenario and write the capture as pcap"
+    )
+    simulate.add_argument("output", help="output .pcap path")
+    simulate.add_argument("--stations", type=int, default=10)
+    simulate.add_argument("--aps", type=int, default=1)
+    simulate.add_argument("--duration", type=float, default=20.0, help="seconds")
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--uplink-pps", type=float, default=8.0)
+    simulate.add_argument("--downlink-pps", type=float, default=18.0)
+    simulate.add_argument(
+        "--rate-algorithm", choices=("arf", "aarf", "snr", "fixed"), default="arf"
+    )
+    simulate.add_argument("--rtscts-fraction", type=float, default=0.0)
+    simulate.add_argument("--obstructed-fraction", type=float, default=0.25)
+
+    analyze = sub.add_parser("analyze", help="full congestion report from a pcap")
+    analyze.add_argument("capture", help="input .pcap path")
+    analyze.add_argument("--name", default=None, help="report title")
+
+    info = sub.add_parser("info", help="capture summary only")
+    info.add_argument("capture", help="input .pcap path")
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        n_stations=args.stations,
+        n_aps=args.aps,
+        duration_s=args.duration,
+        seed=args.seed,
+        uplink=ConstantRate(args.uplink_pps),
+        downlink=ConstantRate(args.downlink_pps),
+        rate_algorithm=args.rate_algorithm,
+        rtscts_fraction=args.rtscts_fraction,
+        obstructed_fraction=args.obstructed_fraction,
+    )
+    result = run_scenario(config)
+    n = write_trace(result.trace, args.output)
+    print(
+        f"wrote {n} frames to {args.output} "
+        f"(captured {result.capture_ratio:.0%} of "
+        f"{len(result.ground_truth)} transmitted)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_trace(args.capture)
+    if len(trace) == 0:
+        print(f"{args.capture}: empty capture", file=sys.stderr)
+        return 1
+    report = analyze_trace(trace, name=args.name or args.capture)
+    print(render_report(report))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = read_trace(args.capture)
+    summary = dataset_summary(trace, args.capture)
+    print(table([summary.as_row()], title="Capture summary"))
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "info": _cmd_info,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""ASCII chart rendering for terminal figure reports."""
+
+from .ascii_charts import bar_chart, histogram_chart, line_chart, multi_line_chart, table
+
+__all__ = ["bar_chart", "histogram_chart", "line_chart", "multi_line_chart", "table"]

@@ -1,0 +1,177 @@
+"""ASCII chart rendering for terminal reports.
+
+The benchmark harness regenerates the paper's figures as data series;
+these renderers turn them into terminal plots so a run's output can be
+eyeballed against the paper without matplotlib (unavailable offline).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["line_chart", "multi_line_chart", "bar_chart", "histogram_chart", "table"]
+
+_MARKS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, steps: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=np.int64)
+    return np.clip(
+        ((values - lo) / (hi - lo) * (steps - 1)).round().astype(np.int64),
+        0,
+        steps - 1,
+    )
+
+
+def line_chart(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 70,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Single-series scatter/line chart."""
+    return multi_line_chart(
+        x, {y_label or "y": y}, width=width, height=height, title=title, x_label=x_label
+    )
+
+
+def multi_line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Several named series over a shared x axis, one mark per series."""
+    x = np.asarray(x, dtype=np.float64)
+    if len(x) == 0 or not series:
+        return f"{title}\n(no data)\n"
+    ys = {name: np.asarray(v, dtype=np.float64) for name, v in series.items()}
+    finite_vals = np.concatenate(
+        [v[np.isfinite(v)] for v in ys.values() if np.isfinite(v).any()]
+        or [np.zeros(1)]
+    )
+    y_lo, y_hi = 0.0, float(finite_vals.max()) if len(finite_vals) else 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark_idx, (name, y) in enumerate(ys.items()):
+        mark = _MARKS[mark_idx % len(_MARKS)]
+        n = min(len(x), len(y))
+        finite = np.isfinite(y[:n])
+        cols = _scale(x[:n][finite], x_lo, x_hi, width)
+        rows = _scale(y[:n][finite], y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(ys)
+    )
+    lines.append(legend)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<10.3g}" + " " * max(0, width - 20) + f"{x_hi:>10.3g}"
+    )
+    if x_label:
+        lines.append(" " * 12 + x_label.center(width))
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart with one row per label."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return f"{title}\n(no data)\n"
+    peak = float(np.nanmax(values)) or 1.0
+    label_width = max((len(str(l)) for l in labels), default=4)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round((value / peak) * width)) if np.isfinite(value) else "?"
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.4g}")
+    return "\n".join(lines) + "\n"
+
+
+def histogram_chart(
+    bin_lefts: Sequence[float],
+    counts: Sequence[int],
+    width: int = 70,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Vertical histogram (Fig 5c style)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    bin_lefts = np.asarray(bin_lefts, dtype=np.float64)
+    if counts.sum() == 0:
+        return f"{title}\n(no data)\n"
+    # Re-bin onto the chart width.
+    edges = np.linspace(bin_lefts.min(), bin_lefts.max() + 1e-9, width + 1)
+    col_counts = np.zeros(width)
+    for left, count in zip(bin_lefts, counts):
+        col = min(int(np.searchsorted(edges, left, side="right")) - 1, width - 1)
+        col_counts[max(col, 0)] += count
+    peak = col_counts.max() or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * level / height
+        rows.append(
+            "".join("#" if c >= threshold else " " for c in col_counts)
+        )
+    lines = [title] if title else []
+    lines.append(f"{int(peak):>8} +" + "-" * width)
+    for row in rows:
+        lines.append(" " * 9 + "|" + row)
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{bin_lefts.min():<8.3g}"
+        + " " * max(0, width - 16)
+        + f"{bin_lefts.max():>8.3g}"
+    )
+    if x_label:
+        lines.append(" " * 10 + x_label.center(width))
+    return "\n".join(lines) + "\n"
+
+
+def table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Fixed-width text table from a list of row dicts."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns
+    }
+    lines = [title] if title else []
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

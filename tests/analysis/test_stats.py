@@ -1,0 +1,68 @@
+"""Tests for knee detection and smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BinnedSeries, find_knee, moving_average
+
+
+def _series(x, y):
+    return BinnedSeries(
+        utilization=np.asarray(x, dtype=float),
+        value=np.asarray(y, dtype=float),
+        count=np.ones(len(x), dtype=np.int64),
+    )
+
+
+class TestMovingAverage:
+    def test_constant_preserved(self):
+        out = moving_average(np.full(10, 3.0), window=5)
+        assert np.allclose(out, 3.0)
+
+    def test_short_input_returned_unchanged(self):
+        values = np.array([1.0, 2.0])
+        assert np.array_equal(moving_average(values, window=5), values)
+
+    def test_window_one_identity(self):
+        values = np.array([1.0, 5.0, 2.0])
+        assert np.array_equal(moving_average(values, window=1), values)
+
+    def test_smooths_spike(self):
+        values = np.zeros(11)
+        values[5] = 10.0
+        out = moving_average(values, window=5)
+        assert out.max() < 10.0
+        assert out.max() == pytest.approx(2.0)
+
+
+class TestFindKnee:
+    def test_rise_then_fall_detected(self):
+        x = np.arange(30, 100)
+        y = np.where(x <= 84, (x - 30) / 54.0 * 4.9, 4.9 - (x - 84) / 14.0 * 2.1)
+        knee = find_knee(_series(x, y), smooth_window=3)
+        assert knee is not None
+        assert knee.utilization == pytest.approx(84.0, abs=3.0)
+        assert knee.is_significant
+
+    def test_monotone_rise_has_no_knee(self):
+        x = np.arange(30, 100)
+        knee = find_knee(_series(x, (x - 30) * 0.1))
+        assert knee is None
+
+    def test_too_short_series(self):
+        assert find_knee(_series([1, 2, 3], [1.0, 2.0, 1.0])) is None
+
+    def test_small_drop_not_significant(self):
+        x = np.arange(0, 50)
+        y = np.where(x <= 40, x.astype(float), 40.0 - (x - 40) * 0.05)
+        knee = find_knee(_series(x, y), smooth_window=3)
+        if knee is not None:
+            assert not knee.is_significant
+
+    def test_drop_fraction_computed(self):
+        x = np.arange(0, 30)
+        y = np.where(x <= 20, x.astype(float), 20.0 - (x - 20) * 1.5)
+        knee = find_knee(_series(x, y), smooth_window=3)
+        assert knee is not None
+        assert 0.0 < knee.drop_fraction <= 1.0
+        assert knee.peak_value > knee.tail_value

@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart renderers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, histogram_chart, line_chart, multi_line_chart, table
+
+
+class TestLineCharts:
+    def test_single_series_renders(self):
+        out = line_chart([0, 1, 2], [0.0, 1.0, 2.0], title="t", x_label="x")
+        assert "t" in out
+        assert "x" in out
+        assert "*" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart([], [], title="empty")
+
+    def test_multi_series_distinct_marks(self):
+        out = multi_line_chart(
+            [0, 1, 2], {"a": [1, 2, 3], "b": [3, 2, 1]}
+        )
+        assert "* a" in out and "o b" in out
+        assert "*" in out and "o" in out
+
+    def test_nan_values_skipped(self):
+        out = multi_line_chart([0, 1, 2], {"a": [1.0, float("nan"), 3.0]})
+        assert "a" in out  # renders without raising
+
+    def test_constant_series(self):
+        out = line_chart([0, 1], [5.0, 5.0])
+        assert "*" in out
+
+    def test_axis_bounds_printed(self):
+        out = line_chart([10, 90], [0.0, 4.0])
+        assert "10" in out and "90" in out
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = [l for l in out.splitlines() if "|" in l]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_values_printed(self):
+        out = bar_chart(["x"], [3.25])
+        assert "3.25" in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [], title="t")
+
+
+class TestHistogram:
+    def test_renders_peak(self):
+        lefts = np.arange(0, 100, 10)
+        counts = np.zeros(10, dtype=int)
+        counts[5] = 50
+        out = histogram_chart(lefts, counts, title="h")
+        assert "h" in out and "#" in out
+
+    def test_all_zero(self):
+        out = histogram_chart([0, 10], [0, 0])
+        assert "(no data)" in out
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        out = table(rows, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        header = lines[1]
+        assert "name" in header and "value" in header
+
+    def test_float_formatting(self):
+        out = table([{"v": 3.14159265}])
+        assert "3.142" in out
+
+    def test_empty(self):
+        assert "(no rows)" in table([], title="t")

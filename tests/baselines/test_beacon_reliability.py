@@ -1,0 +1,57 @@
+"""Tests for the beacon-reliability congestion baseline (E-WIND)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import beacon_reliability_series
+from repro.frames import Trace
+
+from ..conftest import beacon, data
+
+
+class TestReliability:
+    def test_perfect_beacon_stream_scores_one(self, tiny_roster):
+        rows = [beacon(i * 100_000, src=1) for i in range(20)]  # 2 s at 10/s
+        series = beacon_reliability_series(Trace.from_rows(rows), tiny_roster)
+        assert len(series) == 2
+        assert np.allclose(series.reliability, 1.0)
+        assert np.allclose(series.congestion_estimate(), 0.0)
+
+    def test_missing_beacons_lower_reliability(self, tiny_roster):
+        rows = [beacon(i * 100_000, src=1) for i in range(10)]       # full second
+        rows += [beacon(1_000_000 + i * 200_000, src=1) for i in range(5)]  # half
+        series = beacon_reliability_series(Trace.from_rows(rows), tiny_roster)
+        assert series.reliability[0] == pytest.approx(1.0)
+        assert series.reliability[1] == pytest.approx(0.5)
+
+    def test_expected_count_scales_with_audible_aps(self, tiny_roster):
+        rows = [beacon(i * 100_000, src=1) for i in range(10)]
+        series = beacon_reliability_series(Trace.from_rows(rows), tiny_roster)
+        assert series.expected_per_second == 10.0
+
+    def test_correlation_with_utilization(self, tiny_roster):
+        # Reliability degrades second by second; utilization rises.
+        rows = []
+        for s, per_second in enumerate((10, 8, 6, 4, 2)):
+            step = 1_000_000 // max(per_second, 1)
+            rows.extend(
+                beacon(s * 1_000_000 + i * step, src=1) for i in range(per_second)
+            )
+        trace = Trace.from_rows(rows)
+        series = beacon_reliability_series(trace, tiny_roster)
+        utilization = np.array([10.0, 30.0, 50.0, 70.0, 90.0])
+        corr = series.correlation_with(utilization)
+        assert corr > 0.95  # congestion estimate tracks utilization
+
+    def test_correlation_degenerate_cases(self, tiny_roster):
+        rows = [beacon(0, src=1)]
+        series = beacon_reliability_series(Trace.from_rows(rows), tiny_roster)
+        assert np.isnan(series.correlation_with(np.array([50.0])))
+
+    def test_non_beacon_frames_ignored(self, tiny_roster):
+        rows = [beacon(i * 100_000, src=1) for i in range(10)]
+        rows += [data(i * 90_000 + 5000, 10, 1) for i in range(11)]
+        series = beacon_reliability_series(
+            Trace.from_rows(rows).sorted_by_time(), tiny_roster
+        )
+        assert series.reliability[0] == pytest.approx(1.0)

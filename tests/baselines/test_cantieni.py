@@ -1,0 +1,76 @@
+"""Tests for the Cantieni-style multirate DCF model."""
+
+import pytest
+
+from repro.baselines import FrameClass, bianchi_fixed_point, multirate_dcf_model
+
+
+class TestBianchiFixedPoint:
+    def test_single_station_never_collides(self):
+        tau, p = bianchi_fixed_point(1)
+        assert p == 0.0
+        assert 0 < tau < 1
+
+    def test_collision_probability_grows_with_population(self):
+        ps = [bianchi_fixed_point(n)[1] for n in (2, 5, 10, 25, 50)]
+        assert ps == sorted(ps)
+        assert ps[-1] > 0.4
+
+    def test_tau_shrinks_with_population(self):
+        taus = [bianchi_fixed_point(n)[0] for n in (2, 5, 10, 25, 50)]
+        assert taus == sorted(taus, reverse=True)
+
+    def test_fixed_point_consistency(self):
+        tau, p = bianchi_fixed_point(10)
+        assert p == pytest.approx(1 - (1 - tau) ** 9, abs=1e-6)
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            bianchi_fixed_point(0)
+
+
+class TestMultirateModel:
+    def test_s11_success_advantage(self):
+        """The paper's §6.3 cross-check: under saturation, small frames
+        at 11 Mbps succeed more often than XL frames at 1 Mbps."""
+        result = multirate_dcf_model(
+            (FrameClass(200, 11.0, 8), FrameClass(1400, 1.0, 8)),
+            snr_db=15.0,
+        )
+        assert (
+            result.success_probability["200B@11"]
+            > result.success_probability["1400B@1"]
+        )
+
+    def test_probabilities_bounded(self):
+        result = multirate_dcf_model(
+            (FrameClass(500, 5.5, 4), FrameClass(1000, 2.0, 4)), snr_db=12.0
+        )
+        for p in result.success_probability.values():
+            assert 0.0 <= p <= 1.0
+        assert 0.0 <= result.collision_probability < 1.0
+
+    def test_throughput_positive_and_below_capacity(self):
+        result = multirate_dcf_model((FrameClass(1400, 11.0, 10),), snr_db=25.0)
+        assert 0 < result.total_throughput_mbps < 11.0
+
+    def test_more_contenders_lower_success(self):
+        small = multirate_dcf_model((FrameClass(1000, 11.0, 3),), snr_db=25.0)
+        crowd = multirate_dcf_model((FrameClass(1000, 11.0, 40),), snr_db=25.0)
+        assert (
+            crowd.success_probability["1000B@11"]
+            < small.success_probability["1000B@11"]
+        )
+
+    def test_low_snr_hurts_fast_class_most(self):
+        result = multirate_dcf_model(
+            (FrameClass(1000, 11.0, 5), FrameClass(1000, 1.0, 5)), snr_db=4.0
+        )
+        assert (
+            result.success_probability["1000B@1"]
+            > result.success_probability["1000B@11"]
+        )
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(ValueError):
+            multirate_dcf_model(())

@@ -1,0 +1,49 @@
+"""Tests for the Heusse et al. performance-anomaly baseline."""
+
+import pytest
+
+from repro.baselines import anomaly_penalty, anomaly_throughput
+
+
+class TestAnomaly:
+    def test_one_slow_station_drags_everyone(self):
+        """The headline anomaly: one 1 Mbps peer more than halves fast
+        stations' throughput."""
+        fast_only = anomaly_throughput((11.0, 11.0, 11.0))
+        mixed = anomaly_throughput((11.0, 11.0, 1.0))
+        assert mixed.per_station_mbps < fast_only.per_station_mbps / 2
+
+    def test_equal_shares_per_station(self):
+        """DCF fairness: all stations get the same goodput, fast or slow."""
+        result = anomaly_throughput((11.0, 1.0))
+        assert result.total_mbps == pytest.approx(2 * result.per_station_mbps)
+
+    def test_uniform_cell_scales_inversely_with_population(self):
+        two = anomaly_throughput((11.0,) * 2)
+        four = anomaly_throughput((11.0,) * 4)
+        assert four.per_station_mbps == pytest.approx(
+            two.per_station_mbps / 2
+        )
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            anomaly_throughput(())
+
+
+class TestPenalty:
+    def test_no_slow_peers_no_penalty(self):
+        assert anomaly_penalty(3, 0) == pytest.approx(1.0)
+
+    def test_penalty_grows_with_slow_population(self):
+        penalties = [anomaly_penalty(3, k) for k in (0, 1, 2, 3)]
+        assert penalties == sorted(penalties, reverse=True)
+        assert penalties[-1] < 0.5
+
+    def test_penalty_depends_on_rate_gap(self):
+        mild = anomaly_penalty(3, 1, slow_rate_mbps=5.5)
+        severe = anomaly_penalty(3, 1, slow_rate_mbps=1.0)
+        assert severe < mild
+
+    def test_requires_fast_station(self):
+        with pytest.raises(ValueError):
+            anomaly_penalty(0, 1)

@@ -1,0 +1,53 @@
+"""Tests for the Jun et al. theoretical maximum throughput baseline."""
+
+import pytest
+
+from repro.baselines import theoretical_maximum_throughput, tmt_table
+
+
+class TestPublishedValues:
+    def test_1500b_at_11mbps_is_6_06(self):
+        """Jun et al. report ~6.1 Mbps TMT for 1500-byte payloads at 11 Mbps."""
+        tmt = theoretical_maximum_throughput(1500, 11.0)
+        assert tmt.throughput_mbps == pytest.approx(6.06, abs=0.1)
+
+    def test_paper_accounting_without_backoff(self):
+        """With the paper's D_BO = 0, the ceiling rises toward ~7.2 Mbps."""
+        tmt = theoretical_maximum_throughput(1500, 11.0, mean_backoff_slots=0.0)
+        assert tmt.throughput_mbps == pytest.approx(7.18, abs=0.1)
+
+    def test_1mbps_ceiling_below_1(self):
+        tmt = theoretical_maximum_throughput(1500, 1.0)
+        assert tmt.throughput_mbps < 1.0
+
+
+class TestStructure:
+    def test_rts_cts_reduces_tmt(self):
+        plain = theoretical_maximum_throughput(1500, 11.0)
+        protected = theoretical_maximum_throughput(1500, 11.0, rts_cts=True)
+        assert protected.throughput_mbps < plain.throughput_mbps
+        assert protected.cycle_us > plain.cycle_us
+
+    def test_tmt_increases_with_size(self):
+        small = theoretical_maximum_throughput(100, 11.0)
+        large = theoretical_maximum_throughput(1500, 11.0)
+        assert large.throughput_mbps > small.throughput_mbps
+
+    def test_tmt_increases_with_rate(self):
+        values = [
+            theoretical_maximum_throughput(1500, r).throughput_mbps
+            for r in (1.0, 2.0, 5.5, 11.0)
+        ]
+        assert values == sorted(values)
+
+    def test_tmt_never_exceeds_link_rate(self):
+        for point in tmt_table():
+            assert point.throughput_mbps < point.rate_mbps
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            theoretical_maximum_throughput(0, 11.0)
+
+    def test_table_covers_grid(self):
+        table = tmt_table(sizes=(100, 1500), rates=(1.0, 11.0))
+        assert len(table) == 4

@@ -1,0 +1,58 @@
+"""Tests for the DATA-ACK matcher (paper §6.4 identification rule)."""
+
+import numpy as np
+
+from repro.core import match_acks
+from repro.frames import Trace
+
+from ..conftest import ack, beacon, data
+
+
+class TestMatchAcks:
+    def test_simple_pair(self):
+        trace = Trace.from_rows([data(0, 10, 1), ack(1000, 1, 10)])
+        match = match_acks(trace)
+        assert match.acked[0]
+        assert match.ack_index[0] == 1
+        assert match.ack_time_us[0] == 1000
+        assert match.n_acked == 1
+
+    def test_wrong_addressee_not_matched(self):
+        # ACK destined to a different sender does not acknowledge row 0.
+        trace = Trace.from_rows([data(0, 10, 1), ack(1000, 1, 99)])
+        assert not match_acks(trace).acked[0]
+
+    def test_intervening_frame_breaks_atomicity(self):
+        trace = Trace.from_rows(
+            [data(0, 10, 1), beacon(500, 1), ack(1000, 1, 10)]
+        )
+        assert match_acks(trace).n_acked == 0
+
+    def test_cross_channel_not_matched(self):
+        trace = Trace.from_rows(
+            [data(0, 10, 1, channel=1), ack(1000, 1, 10, channel=6)]
+        )
+        assert match_acks(trace).n_acked == 0
+
+    def test_back_to_back_exchanges(self):
+        rows = [
+            data(0, 10, 1), ack(1000, 1, 10),
+            data(2000, 11, 1), ack(3000, 1, 11),
+            data(4000, 12, 1),  # never acked
+        ]
+        match = match_acks(Trace.from_rows(rows))
+        assert list(np.nonzero(match.acked)[0]) == [0, 2]
+        assert not match.acked[4]
+
+    def test_unsorted_input_sorted_internally(self):
+        trace = Trace.from_rows([ack(1000, 1, 10), data(0, 10, 1)])
+        assert match_acks(trace).n_acked == 1
+
+    def test_tiny_traces(self):
+        assert match_acks(Trace.empty()).n_acked == 0
+        assert match_acks(Trace.from_rows([data(0, 10, 1)])).n_acked == 0
+
+    def test_ack_rows_themselves_never_acked(self):
+        trace = Trace.from_rows([data(0, 10, 1), ack(1000, 1, 10), ack(2000, 1, 10)])
+        match = match_acks(trace)
+        assert not match.acked[1] and not match.acked[2]

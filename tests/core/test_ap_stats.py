@@ -1,0 +1,88 @@
+"""Tests for per-AP activity and dataset summaries (paper §4.3)."""
+
+import pytest
+
+from repro.core import ap_frame_ranking, dataset_summary, user_association_series
+from repro.frames import NodeInfo, NodeRoster, Trace
+
+from ..conftest import ack, beacon, data
+
+
+@pytest.fixture
+def two_ap_roster():
+    return NodeRoster(
+        [
+            NodeInfo(node_id=1, is_ap=True),
+            NodeInfo(node_id=2, is_ap=True),
+            NodeInfo(node_id=10, is_ap=False),
+            NodeInfo(node_id=11, is_ap=False),
+        ]
+    )
+
+
+class TestApRanking:
+    def test_ranking_descending(self, two_ap_roster):
+        rows = [
+            data(0, 10, 1), ack(1000, 1, 10),
+            data(5000, 11, 1), ack(6000, 1, 11),
+            data(9000, 10, 2),
+        ]
+        activity = ap_frame_ranking(Trace.from_rows(rows), two_ap_roster)
+        assert list(activity.table.column("ap")) == [1, 2]
+        assert list(activity.table.column("frames")) == [4, 1]
+        assert list(activity.table.column("rank")) == [1, 2]
+
+    def test_top_fraction(self, two_ap_roster):
+        rows = [data(i * 1000, 10, 1) for i in range(9)] + [data(99_000, 10, 2)]
+        activity = ap_frame_ranking(Trace.from_rows(rows), two_ap_roster)
+        assert activity.top_fraction(1) == pytest.approx(0.9)
+        assert activity.top_fraction(2) == pytest.approx(1.0)
+
+    def test_empty_trace(self, two_ap_roster):
+        activity = ap_frame_ranking(Trace.empty(), two_ap_roster)
+        assert activity.total_frames == 0
+        assert activity.top_fraction(15) == 0.0
+
+
+class TestUserSeries:
+    def test_distinct_stations_per_interval(self, two_ap_roster):
+        rows = [
+            data(0, 10, 1),
+            data(1000, 10, 1),           # same station, same interval
+            data(2000, 11, 2),
+            data(31_000_000, 11, 1),     # second interval: one station
+        ]
+        series = user_association_series(Trace.from_rows(rows), two_ap_roster)
+        assert list(series.column("users")) == [2, 1]
+
+    def test_ap_to_ap_frames_ignored(self, two_ap_roster):
+        rows = [data(0, 1, 2)]
+        series = user_association_series(Trace.from_rows(rows), two_ap_roster)
+        assert list(series.column("users")) == [0]
+
+    def test_empty(self, two_ap_roster):
+        series = user_association_series(Trace.empty(), two_ap_roster)
+        assert len(series) == 0
+
+
+class TestDatasetSummary:
+    def test_frame_mix(self, exchange_trace):
+        summary = dataset_summary(exchange_trace, "unit")
+        assert summary.n_frames == 7
+        assert summary.n_data == 2
+        assert summary.n_ack == 2
+        assert summary.n_rts == 1
+        assert summary.n_cts == 1
+        assert summary.n_beacon == 1
+        assert summary.channels == (1,)
+
+    def test_as_row_keys(self, exchange_trace):
+        row = dataset_summary(exchange_trace, "unit").as_row()
+        assert row["dataset"] == "unit"
+        assert row["frames"] == 7
+
+    def test_empty(self):
+        summary = dataset_summary(Trace.empty(), "empty")
+        assert summary.n_frames == 0
+        assert summary.duration_s == 0.0
+        assert summary.channels == ()

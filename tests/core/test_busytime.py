@@ -1,0 +1,119 @@
+"""Tests for the per-frame CBT equations (paper Eq 2-7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DOT11B_TIMING,
+    cbt_by_second,
+    cbt_by_second_per_rate,
+    frame_cbt_us,
+    trace_cbt_us,
+)
+from repro.frames import FrameRow, FrameType, Trace
+
+from ..conftest import ack, beacon, cts, data, rts
+
+
+class TestFrameCbt:
+    """Equations 2-6, against hand-computed values."""
+
+    def test_data_frame_eq2(self):
+        # CBT = DIFS + PLCP + 8*(34+1500)/11
+        expected = 50 + 192 + 8 * 1534 / 11.0
+        assert frame_cbt_us(FrameType.DATA, 1500, 11.0) == pytest.approx(expected)
+
+    def test_rts_eq3_no_ifs(self):
+        assert frame_cbt_us(FrameType.RTS) == 352.0
+
+    def test_cts_eq4(self):
+        assert frame_cbt_us(FrameType.CTS) == 10 + 304.0
+
+    def test_ack_eq5(self):
+        assert frame_cbt_us(FrameType.ACK) == 10 + 304.0
+
+    def test_beacon_eq6(self):
+        assert frame_cbt_us(FrameType.BEACON) == 50 + 304.0
+
+    def test_mgmt_treated_like_data(self):
+        assert frame_cbt_us(FrameType.MGMT, 64, 1.0) == pytest.approx(
+            50 + 192 + 8 * 98 / 1.0
+        )
+
+
+class TestTraceCbt:
+    def test_vector_matches_scalar(self, exchange_trace):
+        vec = trace_cbt_us(exchange_trace)
+        for value, row in zip(vec, exchange_trace.iter_rows()):
+            assert value == pytest.approx(
+                frame_cbt_us(row.ftype, row.size, row.rate_mbps)
+            )
+
+    def test_empty_trace(self):
+        assert len(trace_cbt_us(Trace.empty())) == 0
+
+
+class TestCbtBySecond:
+    def test_single_second_totals_eq7(self):
+        rows = [
+            data(0, 10, 1, size=1000, rate=11.0),
+            ack(1000, 1, 10),
+            data(500_000, 10, 1, size=1000, rate=11.0),
+        ]
+        trace = Trace.from_rows(rows)
+        per_second = cbt_by_second(trace)
+        d = frame_cbt_us(FrameType.DATA, 1000, 11.0)
+        a = frame_cbt_us(FrameType.ACK)
+        assert per_second.shape == (1,)
+        assert per_second[0] == pytest.approx(2 * d + a)
+
+    def test_spans_multiple_seconds(self):
+        rows = [data(0, 10, 1), data(2_500_000, 10, 1)]
+        per_second = cbt_by_second(Trace.from_rows(rows))
+        assert len(per_second) == 3
+        assert per_second[1] == 0.0
+        assert per_second[0] > 0 and per_second[2] > 0
+
+    def test_n_seconds_padding(self):
+        trace = Trace.from_rows([data(0, 10, 1)])
+        padded = cbt_by_second(trace, n_seconds=5)
+        assert padded.shape == (5,)
+        assert np.all(padded[1:] == 0)
+
+    def test_unsorted_input_handled(self):
+        rows = [data(1_500_000, 10, 1), data(0, 10, 1)]
+        out = cbt_by_second(Trace.from_rows(rows))
+        assert len(out) == 2
+
+    def test_empty(self):
+        assert len(cbt_by_second(Trace.empty())) == 0
+        assert cbt_by_second(Trace.empty(), n_seconds=3).shape == (3,)
+
+
+class TestCbtPerRate:
+    def test_split_sums_to_data_total(self):
+        rows = [
+            data(0, 10, 1, size=500, rate=1.0),
+            data(100_000, 10, 1, size=500, rate=11.0),
+            ack(200_000, 1, 10),  # excluded: control
+            beacon(300_000, 1),   # excluded: management
+        ]
+        trace = Trace.from_rows(rows)
+        per_rate = cbt_by_second_per_rate(trace)
+        assert per_rate.shape == (1, 4)
+        data_only = trace.only_type(FrameType.DATA)
+        assert per_rate.sum() == pytest.approx(trace_cbt_us(data_only).sum())
+        # 1 Mbps column (code 0) and 11 Mbps column (code 3) populated.
+        assert per_rate[0, 0] > per_rate[0, 3] > 0
+        assert per_rate[0, 1] == per_rate[0, 2] == 0
+
+    def test_slow_rate_occupies_more_time(self):
+        rows = [
+            data(0, 10, 1, size=1000, rate=1.0),
+            data(100_000, 10, 1, size=1000, rate=11.0),
+        ]
+        per_rate = cbt_by_second_per_rate(Trace.from_rows(rows))
+        assert per_rate[0, 0] > 5 * per_rate[0, 3]
+
+    def test_empty(self):
+        assert cbt_by_second_per_rate(Trace.empty()).shape == (0, 4)

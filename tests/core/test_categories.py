@@ -1,0 +1,66 @@
+"""Tests for the 16 size-rate categories (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALL_CATEGORIES, Category, category_codes, category_mask
+from repro.frames import SizeClass, Trace
+
+from ..conftest import ack, data
+
+
+class TestCategoryNaming:
+    def test_paper_names(self):
+        assert Category(SizeClass.S, 3).name == "S-11"
+        assert Category(SizeClass.XL, 0).name == "XL-1"
+        assert Category(SizeClass.M, 2).name == "M-5.5"
+        assert Category(SizeClass.L, 1).name == "L-2"
+
+    def test_sixteen_distinct_categories(self):
+        assert len(ALL_CATEGORIES) == 16
+        assert len({c.name for c in ALL_CATEGORIES}) == 16
+
+    @pytest.mark.parametrize("name", ["S-1", "M-2", "L-5.5", "XL-11"])
+    def test_from_name_round_trip(self, name):
+        assert Category.from_name(name).name == name
+
+    @pytest.mark.parametrize("bad", ["Q-11", "S-54", "S11", "", "XL-"])
+    def test_from_name_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            Category.from_name(bad)
+
+    def test_rate_mbps_property(self):
+        assert Category.from_name("S-5.5").rate_mbps == 5.5
+
+
+class TestMasksAndCodes:
+    def test_category_mask_selects_only_matching_data(self):
+        rows = [
+            data(0, 10, 1, size=200, rate=11.0),    # S-11
+            data(1000, 10, 1, size=1400, rate=11.0),  # XL-11
+            data(2000, 10, 1, size=200, rate=1.0),  # S-1
+            ack(3000, 1, 10),                        # control: never matches
+        ]
+        trace = Trace.from_rows(rows)
+        mask = category_mask(trace, Category.from_name("S-11"))
+        assert list(mask) == [True, False, False, False]
+
+    def test_category_codes_cover_0_to_15(self):
+        rows = [
+            data(i, 10, 1, size=size, rate=rate)
+            for i, (size, rate) in enumerate(
+                (s, r)
+                for r in (1.0, 2.0, 5.5, 11.0)
+                for s in (100, 500, 1000, 1400)
+            )
+        ]
+        codes = category_codes(Trace.from_rows(rows))
+        assert sorted(codes.tolist()) == list(range(16))
+
+    def test_masks_partition_data_frames(self):
+        rows = [data(i * 100, 10, 1, size=100 + i * 97, rate=11.0) for i in range(20)]
+        trace = Trace.from_rows(rows)
+        total = np.zeros(len(trace), dtype=int)
+        for cat in ALL_CATEGORIES:
+            total += category_mask(trace, cat).astype(int)
+        assert np.all(total == 1)  # each data frame in exactly one category

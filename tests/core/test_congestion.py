@@ -1,0 +1,123 @@
+"""Tests for congestion classification (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PAPER_THRESHOLDS,
+    CongestionClassifier,
+    CongestionLevel,
+    CongestionThresholds,
+    frame_cbt_us,
+)
+from repro.frames import FrameType, Trace
+
+from ..conftest import data
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert PAPER_THRESHOLDS.low == 30.0
+        assert PAPER_THRESHOLDS.high == 84.0
+
+    @pytest.mark.parametrize(
+        "util,expected",
+        [
+            (0.0, CongestionLevel.UNCONGESTED),
+            (29.9, CongestionLevel.UNCONGESTED),
+            (30.0, CongestionLevel.MODERATE),
+            (84.0, CongestionLevel.MODERATE),
+            (84.1, CongestionLevel.HIGH),
+            (150.0, CongestionLevel.HIGH),
+        ],
+    )
+    def test_boundaries(self, util, expected):
+        assert PAPER_THRESHOLDS.classify(util) == expected
+
+    def test_array_matches_scalar(self):
+        percent = np.array([0.0, 15.0, 30.0, 55.0, 84.0, 84.5, 99.0])
+        codes = PAPER_THRESHOLDS.classify_array(percent)
+        assert [CongestionLevel(int(c)) for c in codes] == [
+            PAPER_THRESHOLDS.classify(float(p)) for p in percent
+        ]
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionThresholds(low=50.0, high=40.0)
+        with pytest.raises(ValueError):
+            CongestionThresholds(low=-1.0, high=84.0)
+
+    def test_level_labels(self):
+        assert CongestionLevel.HIGH.label == "highly congested"
+        assert CongestionLevel.UNCONGESTED.label == "uncongested"
+
+
+def _trace_with_knee():
+    """Seconds whose throughput rises with load then collapses.
+
+    Low-utilization seconds carry 11 Mbps frames (high tput); the
+    busiest seconds carry 1 Mbps frames (channel full, few bits) —
+    a miniature of the paper's Figure 6 mechanism.
+    """
+    rows = []
+    second = 0
+    cbt_fast = frame_cbt_us(FrameType.DATA, 1400, 11.0)
+    cbt_slow = frame_cbt_us(FrameType.DATA, 1400, 1.0)
+    # Rising leg: increasing numbers of fast frames (util ~8% -> ~75%).
+    for load in range(1, 10):
+        for rep in range(3):
+            n = int(load * 0.083 * 1e6 / cbt_fast)
+            t0 = second * 1_000_000
+            rows.extend(
+                data(t0 + int(i * cbt_fast), 10, 1, 1400, 11.0) for i in range(n)
+            )
+            second += 1
+    # Collapsed leg: seconds stuffed with slow frames (util ~95%).
+    for rep in range(6):
+        n = int(0.95 * 1e6 / cbt_slow)
+        t0 = second * 1_000_000
+        rows.extend(
+            data(t0 + int(i * cbt_slow), 10, 1, 1400, 1.0) for i in range(n)
+        )
+        second += 1
+    return Trace.from_rows(rows)
+
+
+class TestClassifierFit:
+    def test_detects_knee_on_synthetic_collapse(self):
+        clf = CongestionClassifier(smooth_window=3).fit(_trace_with_knee())
+        assert clf.thresholds is not None
+        # Peak throughput occurs on the rising leg, around 70-80 %.
+        assert 55.0 <= clf.thresholds.high <= 90.0
+        assert clf.thresholds.low == 30.0
+
+    def test_fallback_on_monotone_curve(self):
+        """A purely rising curve has no knee: fall back to the paper's 84."""
+        rows = []
+        cbt = frame_cbt_us(FrameType.DATA, 1400, 11.0)
+        second = 0
+        for load in range(1, 8):
+            n = int(load * 0.1 * 1e6 / cbt)
+            t0 = second * 1_000_000
+            rows.extend(data(t0 + int(i * cbt), 10, 1, 1400, 11.0) for i in range(n))
+            second += 1
+        clf = CongestionClassifier().fit(Trace.from_rows(rows))
+        assert clf.thresholds.high == 84.0
+
+    def test_unfitted_classifier_raises(self):
+        with pytest.raises(RuntimeError):
+            CongestionClassifier().classify_percent(np.array([50.0]))
+
+    def test_occupancy_sums_to_one(self):
+        trace = _trace_with_knee()
+        clf = CongestionClassifier(smooth_window=3).fit(trace)
+        occupancy = clf.occupancy(trace)
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+        assert occupancy[CongestionLevel.HIGH] > 0
+
+    def test_classify_seconds_length(self):
+        trace = _trace_with_knee()
+        clf = CongestionClassifier(smooth_window=3).fit(trace)
+        from repro.core import utilization_series
+
+        assert len(clf.classify_seconds(trace)) == len(utilization_series(trace))

@@ -1,0 +1,112 @@
+"""Tests for acceptance-delay reconstruction (paper §6.5, Fig 15)."""
+
+import numpy as np
+import pytest
+
+from repro.core import acceptance_delay_vs_utilization, acceptance_delays
+from repro.frames import Trace
+
+from ..conftest import ack, data
+
+
+class TestAcceptanceDelays:
+    def test_single_attempt_delay(self):
+        rows = [data(0, 10, 1, seq=4), ack(1_500, 1, 10)]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert len(delays) == 1
+        assert delays.delay_us[0] == pytest.approx(1_500)
+        assert delays.first_attempt_us[0] == 0
+
+    def test_retry_chain_measured_from_first_attempt(self):
+        """Retries share a seq; delay runs from the first attempt."""
+        rows = [
+            data(0, 10, 1, seq=4),                       # first attempt, no ACK
+            data(9_000, 10, 1, seq=4, retry=True),       # retry
+            ack(10_500, 1, 10),                           # acked now
+        ]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert len(delays) == 1
+        assert delays.delay_us[0] == pytest.approx(10_500)
+
+    def test_rate_of_delivered_frame_recorded(self):
+        """A chain that fell back 11 -> 1 Mbps reports the delivered rate."""
+        rows = [
+            data(0, 10, 1, seq=4, rate=11.0),
+            data(9_000, 10, 1, seq=4, rate=1.0, retry=True),
+            ack(21_000, 1, 10),
+        ]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert delays.rate_code[0] == 0  # 1 Mbps
+
+    def test_independent_chains_by_seq(self):
+        rows = [
+            data(0, 10, 1, seq=1), ack(1_500, 1, 10),
+            data(5_000, 10, 1, seq=2), ack(6_900, 1, 10),
+        ]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert sorted(delays.delay_us.tolist()) == [1_500, 1_900]
+
+    def test_chain_with_missed_first_attempt(self):
+        """A retry whose first attempt the sniffer missed still yields a
+        (conservative) delay measured from the earliest captured frame."""
+        rows = [data(9_000, 10, 1, seq=4, retry=True), ack(10_500, 1, 10)]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert delays.delay_us[0] == pytest.approx(1_500)
+
+    def test_empty(self):
+        assert len(acceptance_delays(Trace.empty())) == 0
+
+
+class TestFigure15:
+    def test_categories_and_units(self):
+        rows = [
+            data(0, 10, 1, size=200, rate=1.0, seq=1), ack(3_000, 1, 10),
+            data(100_000, 10, 1, size=1400, rate=11.0, seq=2), ack(102_000, 1, 10),
+        ]
+        series = acceptance_delay_vs_utilization(Trace.from_rows(rows))
+        assert set(series.names) == {"S-1", "XL-1", "S-11", "XL-11"}
+        # Delays are in seconds on the y axis.
+        assert series["S-1"].value.sum() == pytest.approx(0.003)
+        assert series["XL-11"].value.sum() == pytest.approx(0.002)
+
+    def test_mean_delay_weighted(self):
+        rows = [
+            data(0, 10, 1, size=200, rate=1.0, seq=1), ack(4_000, 1, 10),
+            data(1_000_000, 10, 1, size=200, rate=1.0, seq=2), ack(1_002_000, 1, 10),
+        ]
+        series = acceptance_delay_vs_utilization(Trace.from_rows(rows))
+        mean = series.mean_delay("S-1", lo=0.0, hi=100.0)
+        assert mean == pytest.approx(0.003)
+
+    def test_slow_frames_have_larger_delay_on_simulated_trace(self, small_scenario):
+        """The paper's F5: delays at 1 Mbps exceed delays at 11 Mbps."""
+        delays = acceptance_delays(small_scenario.trace)
+        slow = delays.delay_us[delays.rate_code == 0]
+        fast = delays.delay_us[delays.rate_code == 3]
+        if len(slow) >= 5 and len(fast) >= 5:
+            assert np.median(slow) > np.median(fast)
+
+
+class TestSeqRecycling:
+    def test_recycled_seq_does_not_inherit_stale_chain(self):
+        """802.11 seqs wrap at 4096: a retry of a recycled seq whose
+        first attempt went uncaptured must not inherit the timestamp of
+        the previous chain with the same (src, dst, seq) key."""
+        rows = [
+            data(0, 10, 1, seq=4),                      # chain 1: never acked
+            # ... 30 seconds later the seq number has been recycled ...
+            data(30_000_000, 10, 1, seq=4, retry=True),  # chain 2, 1st missed
+            ack(30_001_500, 1, 10),
+        ]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert len(delays) == 1
+        assert delays.delay_us[0] == pytest.approx(1_500)
+
+    def test_recent_chain_still_linked(self):
+        rows = [
+            data(0, 10, 1, seq=4),
+            data(900_000, 10, 1, seq=4, retry=True),
+            ack(902_000, 1, 10),
+        ]
+        delays = acceptance_delays(Trace.from_rows(rows))
+        assert delays.delay_us[0] == pytest.approx(902_000)

@@ -1,0 +1,82 @@
+"""Tests for the streaming congestion monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionLevel, utilization_series
+from repro.core.online import OnlineCongestionMonitor
+from repro.frames import FrameType, Trace
+
+from ..conftest import ack, data
+
+
+class TestIngestion:
+    def test_matches_offline_pipeline_exactly(self, small_scenario):
+        """Streaming the trace reproduces utilization_series bit-for-bit
+        on every *closed* second."""
+        trace = small_scenario.trace
+        monitor = OnlineCongestionMonitor()
+        monitor.ingest_trace(trace)
+        monitor.flush()
+        offline = utilization_series(trace)
+        online = monitor.utilization_array()
+        n = len(online)
+        assert n >= len(offline) - 1  # offline may or may not pad the tail
+        assert np.allclose(online[: len(offline)], offline.percent[:n])
+
+    def test_closes_seconds_as_time_advances(self):
+        monitor = OnlineCongestionMonitor()
+        assert monitor.ingest(0, FrameType.DATA, 1000, 11.0) == []
+        closed = monitor.ingest(2_500_000, FrameType.DATA, 1000, 11.0)
+        assert [o.second_index for o in closed] == [0, 1]
+        assert closed[0].frames == 1
+        assert closed[1].frames == 0  # the silent middle second
+
+    def test_flush_closes_tail(self):
+        monitor = OnlineCongestionMonitor()
+        monitor.ingest(0, FrameType.ACK)
+        obs = monitor.flush()
+        assert obs is not None and obs.second_index == 0
+        assert obs.frames == 1
+
+    def test_flush_empty_monitor(self):
+        assert OnlineCongestionMonitor().flush() is None
+
+    def test_out_of_order_frame_rejected(self):
+        monitor = OnlineCongestionMonitor()
+        monitor.ingest(5_000_000, FrameType.DATA, 100, 11.0)
+        with pytest.raises(ValueError, match="out of order"):
+            monitor.ingest(1_000_000, FrameType.DATA, 100, 11.0)
+
+    def test_explicit_start_anchor(self):
+        monitor = OnlineCongestionMonitor(start_us=10_000_000)
+        with pytest.raises(ValueError):
+            monitor.ingest(5_000_000, FrameType.ACK)  # before the anchor
+
+
+class TestClassification:
+    def test_levels_assigned_per_second(self):
+        monitor = OnlineCongestionMonitor()
+        # Second 0: one small frame -> uncongested.
+        monitor.ingest(0, FrameType.DATA, 100, 11.0)
+        # Second 1: stuffed with slow frames -> highly congested.
+        for i in range(80):
+            monitor.ingest(1_000_000 + i * 12_000, FrameType.DATA, 1400, 1.0)
+        monitor.ingest(2_000_001, FrameType.ACK)  # closes second 1
+        levels = [o.level for o in monitor.history]
+        assert levels[0] == CongestionLevel.UNCONGESTED
+        assert levels[1] == CongestionLevel.HIGH
+
+    def test_current_level_tracks_latest(self):
+        monitor = OnlineCongestionMonitor()
+        assert monitor.current_level is None
+        monitor.ingest(0, FrameType.ACK)
+        monitor.ingest(1_000_001, FrameType.ACK)
+        assert monitor.current_level == CongestionLevel.UNCONGESTED
+
+    def test_level_occupancy_sums_to_one(self, small_scenario):
+        monitor = OnlineCongestionMonitor()
+        monitor.ingest_trace(small_scenario.trace)
+        monitor.flush()
+        occupancy = monitor.level_occupancy()
+        assert sum(occupancy.values()) == pytest.approx(1.0)

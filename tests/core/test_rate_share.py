@@ -1,0 +1,70 @@
+"""Tests for per-rate busy-time share and bytes (paper §6.2, Figs 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    busytime_share_vs_utilization,
+    bytes_per_rate_vs_utilization,
+    frame_cbt_us,
+)
+from repro.frames import FrameType, Trace
+
+from ..conftest import ack, data
+
+
+def _mixed_rate_trace():
+    """One second with equal byte volumes at 1 and 11 Mbps."""
+    rows = []
+    t = 0
+    for _ in range(4):
+        rows.append(data(t, 10, 1, size=1000, rate=1.0))
+        t += 12_000
+    for _ in range(4):
+        rows.append(data(t, 10, 1, size=1000, rate=11.0))
+        t += 2_000
+    return Trace.from_rows(rows)
+
+
+class TestFigure8:
+    def test_slow_rate_dominates_busytime_at_equal_bytes(self):
+        shares = busytime_share_vs_utilization(_mixed_rate_trace())
+        busy_1 = shares[1.0].value.sum()
+        busy_11 = shares[11.0].value.sum()
+        assert busy_1 > 5 * busy_11
+
+    def test_share_values_are_seconds_fractions(self):
+        shares = busytime_share_vs_utilization(_mixed_rate_trace())
+        expected_1 = 4 * frame_cbt_us(FrameType.DATA, 1000, 1.0) / 1e6
+        assert shares[1.0].value.sum() == pytest.approx(expected_1)
+
+    def test_all_four_rates_reported(self):
+        shares = busytime_share_vs_utilization(_mixed_rate_trace())
+        assert shares.rates == (1.0, 2.0, 5.5, 11.0)
+        assert np.all(shares[2.0].value == 0)
+
+    def test_control_frames_excluded(self):
+        rows = [data(0, 10, 1, size=1000, rate=11.0), ack(1500, 1, 10)]
+        shares = busytime_share_vs_utilization(Trace.from_rows(rows))
+        # The 1 Mbps share must not include the ACK (control, not data).
+        assert shares[1.0].value.sum() == 0.0
+
+
+class TestFigure9:
+    def test_equal_byte_volumes_reported_equal(self):
+        volumes = bytes_per_rate_vs_utilization(_mixed_rate_trace())
+        assert volumes[1.0].value.sum() == pytest.approx(
+            volumes[11.0].value.sum()
+        )
+        assert volumes[1.0].value.sum() == pytest.approx(4000.0)
+
+    def test_ratio_helper(self):
+        volumes = bytes_per_rate_vs_utilization(_mixed_rate_trace())
+        util = volumes[1.0].utilization[0]
+        assert volumes.ratio_at(11.0, 1.0, float(util)) == pytest.approx(1.0)
+
+    def test_ratio_nan_when_denominator_empty(self):
+        rows = [data(0, 10, 1, size=100, rate=11.0)]
+        volumes = bytes_per_rate_vs_utilization(Trace.from_rows(rows))
+        util = volumes[11.0].utilization[0]
+        assert np.isnan(volumes.ratio_at(11.0, 1.0, float(util)))

@@ -1,0 +1,60 @@
+"""Tests for first-attempt reception analysis (paper §6.4, Fig 14)."""
+
+import numpy as np
+import pytest
+
+from repro.core import first_attempt_ack_vs_utilization
+from repro.frames import Trace
+
+from ..conftest import ack, data
+
+
+class TestFirstAttemptAcks:
+    def test_first_attempt_acked_counted(self):
+        rows = [data(0, 10, 1, rate=11.0), ack(1000, 1, 10)]
+        series = first_attempt_ack_vs_utilization(Trace.from_rows(rows))
+        assert series[11.0].value.sum() == pytest.approx(1.0)
+        assert series[1.0].value.sum() == 0.0
+
+    def test_retry_acked_not_counted(self):
+        """Only frames acked at their *first* attempt qualify."""
+        rows = [
+            data(0, 10, 1, rate=11.0, seq=7),
+            data(3000, 10, 1, rate=11.0, seq=7, retry=True),
+            ack(4500, 1, 10),
+        ]
+        series = first_attempt_ack_vs_utilization(Trace.from_rows(rows))
+        assert series[11.0].value.sum() == 0.0
+
+    def test_unacked_first_attempt_not_counted(self):
+        rows = [data(0, 10, 1, rate=11.0)]
+        series = first_attempt_ack_vs_utilization(Trace.from_rows(rows))
+        assert series[11.0].value.sum() == 0.0
+
+    def test_split_by_rate(self):
+        rows = [
+            data(0, 10, 1, rate=1.0), ack(13000, 1, 10),
+            data(50_000, 10, 1, rate=11.0), ack(52_000, 1, 10),
+            data(90_000, 10, 1, rate=11.0), ack(92_000, 1, 10),
+        ]
+        series = first_attempt_ack_vs_utilization(Trace.from_rows(rows))
+        assert series[1.0].value.sum() == pytest.approx(1.0)
+        assert series[11.0].value.sum() == pytest.approx(2.0)
+        assert series.rates == (1.0, 2.0, 5.5, 11.0)
+
+    def test_consistency_on_simulated_trace(self, small_scenario):
+        """First-attempt acks never exceed transmissions at any rate."""
+        from repro.core import transmissions_vs_utilization, ALL_CATEGORIES
+
+        trace = small_scenario.trace
+        reception = first_attempt_ack_vs_utilization(trace)
+        counts = transmissions_vs_utilization(trace)
+        for rate, label in ((1.0, "1"), (11.0, "11")):
+            acked_total = (
+                reception[rate].value * reception[rate].count
+            ).sum()
+            tx_total = sum(
+                (counts[f"{cls}-{label}"].value * counts[f"{cls}-{label}"].count).sum()
+                for cls in ("S", "M", "L", "XL")
+            )
+            assert acked_total <= tx_total + 1e-9

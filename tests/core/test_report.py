@@ -1,0 +1,56 @@
+"""Tests for the one-call analysis report."""
+
+import numpy as np
+import pytest
+
+from repro.core import CongestionLevel, analyze_trace
+
+
+class TestAnalyzeTrace:
+    def test_full_report_on_simulated_trace(self, small_scenario):
+        report = analyze_trace(
+            small_scenario.trace, small_scenario.roster, name="unit"
+        )
+        assert report.name == "unit"
+        assert report.summary.n_frames == len(small_scenario.trace)
+        assert len(report.utilization) > 0
+        assert sum(report.level_occupancy.values()) == pytest.approx(1.0)
+        # Roster-dependent sections present.
+        assert report.ap_activity is not None
+        assert report.unrecorded_per_ap is not None
+        assert report.user_series is not None
+
+    def test_report_without_roster(self, small_scenario):
+        report = analyze_trace(small_scenario.trace)
+        assert report.ap_activity is None
+        assert report.unrecorded_per_ap is None
+        assert report.user_series is None
+
+    def test_headline_keys(self, small_scenario):
+        report = analyze_trace(small_scenario.trace, small_scenario.roster)
+        headline = report.headline()
+        for key in (
+            "throughput_peak_mbps",
+            "throughput_peak_utilization",
+            "high_congestion_threshold",
+            "mode_utilization",
+            "unrecorded_percent",
+            "high_congestion_fraction",
+        ):
+            assert key in headline
+        assert headline["throughput_peak_mbps"] > 0
+        assert 0 <= headline["high_congestion_fraction"] <= 1
+
+    def test_figures_internally_consistent(self, small_scenario):
+        report = analyze_trace(small_scenario.trace, small_scenario.roster)
+        # Fig 6: goodput <= throughput everywhere.
+        assert np.all(
+            report.throughput.goodput_mbps.value
+            <= report.throughput.throughput_mbps.value + 1e-9
+        )
+        # Fig 8 shares are fractions of a second.
+        for rate in (1.0, 2.0, 5.5, 11.0):
+            assert np.all(report.busytime_share[rate].value >= 0)
+            assert np.all(report.busytime_share[rate].value <= 1.2)
+        # Occupancy levels are the three paper classes.
+        assert set(report.level_occupancy) == set(CongestionLevel)

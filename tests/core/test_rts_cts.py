@@ -1,0 +1,99 @@
+"""Tests for RTS/CTS analysis (paper §6.1, Fig 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import rts_cts_fairness, rts_cts_vs_utilization
+from repro.frames import Trace
+
+from ..conftest import ack, cts, data, rts
+
+
+class TestFigure7Series:
+    def test_counts_per_second(self):
+        rows = [
+            rts(0, 11, 1), cts(500, 1, 11), data(1000, 11, 1), ack(2500, 1, 11),
+            rts(500_000, 11, 1),  # failed handshake: RTS only
+        ]
+        series = rts_cts_vs_utilization(Trace.from_rows(rows))
+        # One second in the trace: 2 RTS, 1 CTS at its utilization bin.
+        assert series.rts.value[0] == pytest.approx(2.0)
+        assert series.cts.value[0] == pytest.approx(1.0)
+
+    def test_handshake_success_ratio_bounded(self):
+        rows = [rts(0, 11, 1), cts(500, 1, 11), rts(600_000, 11, 1)]
+        series = rts_cts_vs_utilization(Trace.from_rows(rows))
+        ratio = series.handshake_success_ratio()
+        assert np.all(ratio <= 1.0)
+        assert np.all(ratio >= 0.0)
+
+    def test_no_rtscts_traffic(self):
+        trace = Trace.from_rows([data(0, 10, 1), ack(1000, 1, 10)])
+        series = rts_cts_vs_utilization(trace)
+        assert np.all(series.rts.value == 0)
+        assert np.all(series.cts.value == 0)
+
+
+class TestFairness:
+    def test_balanced_shares_give_fairness_one(self, tiny_roster):
+        # Stations 10 (plain) and 11 (RTS/CTS) each deliver one frame.
+        rows = [
+            data(0, 10, 1), ack(1000, 1, 10),
+            data(5000, 11, 1), ack(6500, 1, 11),
+        ]
+        fairness = rts_cts_fairness(Trace.from_rows(rows), tiny_roster)
+        assert fairness.rtscts_population == pytest.approx(0.5)
+        assert fairness.rtscts_share == pytest.approx(0.5)
+        assert fairness.fairness_index == pytest.approx(1.0)
+
+    def test_starved_rtscts_user_detected(self, tiny_roster):
+        # Station 11 (RTS/CTS) delivers nothing; station 10 delivers 3.
+        rows = []
+        t = 0
+        for _ in range(3):
+            rows.append(data(t, 10, 1)); t += 1500
+            rows.append(ack(t, 1, 10)); t += 1500
+        rows.append(data(t, 11, 1))  # unacked
+        fairness = rts_cts_fairness(Trace.from_rows(rows), tiny_roster)
+        assert fairness.rtscts_share == 0.0
+        assert fairness.fairness_index == 0.0
+        assert fairness.plain_share == pytest.approx(1.0)
+
+    def test_ap_transmissions_excluded(self, tiny_roster):
+        # Downlink traffic must not skew the station fairness measure.
+        rows = [data(0, 1, 10), ack(1000, 10, 1)]
+        fairness = rts_cts_fairness(Trace.from_rows(rows), tiny_roster)
+        assert fairness.rtscts_share == 0.0
+        assert fairness.plain_share == 0.0
+
+    def test_empty_roster(self):
+        from repro.frames import NodeRoster
+
+        fairness = rts_cts_fairness(Trace.empty(), NodeRoster([]))
+        assert fairness.rtscts_population == 0.0
+
+
+class TestAirtimeOverhead:
+    def test_handshake_airtime_cost_exceeds_plain(self, tiny_roster):
+        """Per delivered frame, an RTS/CTS user pays RTS + CTS + two
+        extra SIFS of channel time."""
+        rows = [
+            # Plain station 10: DATA -> ACK.
+            data(0, 10, 1, size=1000, rate=11.0), ack(1500, 1, 10),
+            # RTS/CTS station 11: RTS -> CTS -> DATA -> ACK.
+            rts(10_000, 11, 1), cts(10_500, 1, 11),
+            data(11_000, 11, 1, size=1000, rate=11.0), ack(12_500, 1, 11),
+        ]
+        fairness = rts_cts_fairness(Trace.from_rows(rows), tiny_roster)
+        assert fairness.airtime_overhead_ratio > 1.0
+        # The exact gap is RTS + (SIFS + CTS): 352 + 314 us.
+        gap = (
+            fairness.rtscts_airtime_per_delivery_us
+            - fairness.plain_airtime_per_delivery_us
+        )
+        assert gap == pytest.approx(352 + 10 + 304)
+
+    def test_overhead_nan_without_deliveries(self, tiny_roster):
+        fairness = rts_cts_fairness(Trace.empty(), tiny_roster)
+        import numpy as np
+        assert np.isnan(fairness.airtime_overhead_ratio)

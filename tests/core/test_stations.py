@@ -1,0 +1,81 @@
+"""Tests for per-station statistics and Jain fairness."""
+
+import numpy as np
+import pytest
+
+from repro.core.stations import jain_fairness_index, station_stats
+from repro.frames import Trace
+
+from ..conftest import ack, data, rts
+
+
+class TestJainIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_single_hog_approaches_1_over_n(self):
+        index = jain_fairness_index(np.array([10.0, 0.0, 0.0, 0.0]))
+        assert index == pytest.approx(0.25)
+
+    def test_monotone_in_imbalance(self):
+        fair = jain_fairness_index(np.array([4.0, 4.0]))
+        skewed = jain_fairness_index(np.array([7.0, 1.0]))
+        assert skewed < fair
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index(np.zeros(3)) == 1.0
+
+    def test_empty_is_nan(self):
+        assert np.isnan(jain_fairness_index(np.array([])))
+
+
+class TestStationStats:
+    def test_per_station_accounting(self, tiny_roster):
+        rows = [
+            data(0, 10, 1, size=1000), ack(1500, 1, 10),
+            data(5000, 10, 1, size=500),            # unacked
+            data(9000, 11, 1, size=200), ack(9900, 1, 11),
+        ]
+        stats = station_stats(Trace.from_rows(rows), tiny_roster)
+        table = stats.table
+        by_station = dict(zip(table.column("station"), range(len(table))))
+        i10, i11 = by_station[10], by_station[11]
+        assert table.column("tx_frames")[i10] == 2
+        assert table.column("acked_frames")[i10] == 1
+        assert table.column("acked_bytes")[i10] == 1000
+        assert table.column("acked_bytes")[i11] == 200
+        assert table.column("airtime_us")[i10] > table.column("airtime_us")[i11]
+
+    def test_rts_airtime_attributed(self, tiny_roster):
+        rows = [rts(0, 11, 1)]
+        stats = station_stats(Trace.from_rows(rows), tiny_roster)
+        idx = list(stats.table.column("station")).index(11)
+        assert stats.table.column("airtime_us")[idx] == pytest.approx(352.0)
+
+    def test_share_of(self, tiny_roster):
+        rows = [
+            data(0, 10, 1, size=300), ack(1000, 1, 10),
+            data(5000, 11, 1, size=100), ack(6000, 1, 11),
+        ]
+        stats = station_stats(Trace.from_rows(rows), tiny_roster)
+        assert stats.share_of(10) == pytest.approx(0.75)
+        assert stats.share_of(11) == pytest.approx(0.25)
+        assert stats.share_of(99) == 0.0
+
+    def test_fairness_on_balanced_trace(self, tiny_roster):
+        rows = [
+            data(0, 10, 1, size=500), ack(1000, 1, 10),
+            data(5000, 11, 1, size=500), ack(6000, 1, 11),
+        ]
+        stats = station_stats(Trace.from_rows(rows), tiny_roster)
+        assert stats.fairness("acked_bytes") == pytest.approx(1.0)
+
+    def test_empty_trace(self, tiny_roster):
+        stats = station_stats(Trace.empty(), tiny_roster)
+        assert len(stats) == 2
+        assert stats.fairness() == 1.0
+
+    def test_simulated_cell_fairness_in_range(self, small_scenario):
+        stats = station_stats(small_scenario.trace, small_scenario.roster)
+        index = stats.fairness("acked_bytes")
+        assert 0.0 < index <= 1.0

@@ -1,0 +1,74 @@
+"""Tests for throughput/goodput computation (paper §5.2, Fig 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    goodput_per_second,
+    throughput_per_second,
+    throughput_vs_utilization,
+)
+from repro.frames import Trace
+
+from ..conftest import ack, beacon, data
+
+
+class TestThroughputPerSecond:
+    def test_counts_all_bits_including_retries(self):
+        rows = [
+            data(0, 10, 1, size=1000),
+            data(100_000, 10, 1, size=1000, retry=True),  # retransmission counts
+        ]
+        tput = throughput_per_second(Trace.from_rows(rows))
+        assert tput[0] == pytest.approx(2 * 1000 * 8 / 1e6)
+
+    def test_control_frames_use_fixed_sizes(self):
+        trace = Trace.from_rows([ack(0, 1, 10)])
+        assert throughput_per_second(trace)[0] == pytest.approx(14 * 8 / 1e6)
+
+    def test_second_boundaries(self):
+        rows = [data(0, 10, 1, size=500), data(1_000_000, 10, 1, size=700)]
+        tput = throughput_per_second(Trace.from_rows(rows))
+        assert tput[0] == pytest.approx(500 * 8 / 1e6)
+        assert tput[1] == pytest.approx(700 * 8 / 1e6)
+
+
+class TestGoodputPerSecond:
+    def test_unacked_data_excluded(self):
+        rows = [
+            data(0, 10, 1, size=1000),
+            ack(1400, 1, 10),
+            data(500_000, 10, 1, size=900),  # no ACK follows: wasted bits
+        ]
+        trace = Trace.from_rows(rows)
+        gput = goodput_per_second(trace)
+        expected = (1000 * 8 + 14 * 8) / 1e6
+        assert gput[0] == pytest.approx(expected)
+
+    def test_control_and_beacons_always_count(self):
+        rows = [beacon(0, 1), ack(5000, 1, 10)]
+        gput = goodput_per_second(Trace.from_rows(rows))
+        assert gput[0] == pytest.approx((80 * 8 + 14 * 8) / 1e6)
+
+    def test_goodput_never_exceeds_throughput(self, small_scenario):
+        trace = small_scenario.trace
+        tput = throughput_per_second(trace)
+        gput = goodput_per_second(trace, n_seconds=len(tput))
+        assert np.all(gput <= tput + 1e-12)
+
+
+class TestFigure6:
+    def test_binned_series_aligned(self, small_scenario):
+        result = throughput_vs_utilization(small_scenario.trace)
+        assert len(result.throughput_mbps) == len(result.goodput_mbps)
+        assert np.array_equal(
+            result.throughput_mbps.utilization, result.goodput_mbps.utilization
+        )
+        # goodput <= throughput bin by bin
+        assert np.all(result.goodput_mbps.value <= result.throughput_mbps.value + 1e-9)
+
+    def test_peak_reports_maximum(self, small_scenario):
+        result = throughput_vs_utilization(small_scenario.trace)
+        util, peak = result.peak()
+        assert peak == pytest.approx(result.throughput_mbps.value.max())
+        assert util in result.throughput_mbps.utilization

@@ -1,0 +1,101 @@
+"""Tests pinning the Table 2 timing model to the paper's values."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DOT11B_TIMING, TimingParameters, data_frame_duration_us
+
+
+class TestTable2Constants:
+    """Every delay component must match the paper's Table 2 exactly."""
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [
+            ("D_DIFS", 50.0),
+            ("D_SIFS", 10.0),
+            ("D_RTS", 352.0),
+            ("D_CTS", 304.0),
+            ("D_ACK", 304.0),
+            ("D_BEACON", 304.0),
+            ("D_BO", 0.0),
+            ("D_PLCP", 192.0),
+        ],
+    )
+    def test_constant(self, name, value):
+        assert dict(DOT11B_TIMING.as_table())[name] == value
+
+    def test_control_durations_derive_from_1mbps(self):
+        """D_ACK = PLCP + 8*14/1 = 304; D_RTS = PLCP + 8*20/1 = 352."""
+        assert DOT11B_TIMING.plcp_us + 8 * 14 / 1.0 == DOT11B_TIMING.ack_us
+        assert DOT11B_TIMING.plcp_us + 8 * 20 / 1.0 == DOT11B_TIMING.rts_us
+
+    def test_paper_backoff_range(self):
+        assert DOT11B_TIMING.cw_min == 31
+        assert DOT11B_TIMING.cw_max == 255
+
+
+class TestDataFrameDuration:
+    """D_DATA(size)(rate) = D_PLCP + 8*(34+size)/rate."""
+
+    @pytest.mark.parametrize(
+        "size,rate,expected",
+        [
+            (1500, 11.0, 192 + 8 * 1534 / 11.0),
+            (1500, 1.0, 192 + 8 * 1534 / 1.0),
+            (100, 2.0, 192 + 8 * 134 / 2.0),
+            (0, 5.5, 192 + 8 * 34 / 5.5),
+        ],
+    )
+    def test_formula(self, size, rate, expected):
+        assert data_frame_duration_us(size, rate) == pytest.approx(expected)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            data_frame_duration_us(100, 0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            data_frame_duration_us(-1, 11.0)
+
+    def test_vectorised_matches_scalar(self):
+        sizes = np.array([10, 500, 1500])
+        rates = np.array([1.0, 5.5, 11.0])
+        vec = DOT11B_TIMING.data_frame_duration_us_array(sizes, rates)
+        for v, s, r in zip(vec, sizes, rates):
+            assert v == pytest.approx(data_frame_duration_us(int(s), float(r)))
+
+    def test_vectorised_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            DOT11B_TIMING.data_frame_duration_us_array(
+                np.array([10.0]), np.array([0.0])
+            )
+
+
+@given(
+    size=st.integers(min_value=0, max_value=3000),
+    rate=st.sampled_from([1.0, 2.0, 5.5, 11.0]),
+)
+def test_duration_positive_and_bounded_below_by_plcp(size, rate):
+    duration = data_frame_duration_us(size, rate)
+    assert duration > DOT11B_TIMING.plcp_us
+
+
+@given(size=st.integers(min_value=0, max_value=3000))
+def test_duration_decreases_with_rate(size):
+    durations = [data_frame_duration_us(size, r) for r in (1.0, 2.0, 5.5, 11.0)]
+    assert durations == sorted(durations, reverse=True)
+
+
+@given(rate=st.sampled_from([1.0, 2.0, 5.5, 11.0]), size=st.integers(0, 2999))
+def test_duration_increases_with_size(rate, size):
+    assert data_frame_duration_us(size + 1, rate) > data_frame_duration_us(size, rate)
+
+
+def test_custom_timing_parameters():
+    custom = TimingParameters(plcp_us=96.0)  # short preamble variant
+    assert custom.data_frame_duration_us(100, 11.0) == pytest.approx(
+        96 + 8 * 134 / 11.0
+    )

@@ -1,0 +1,82 @@
+"""Tests for per-category transmission counts (paper §6.3, Figs 10-13)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Category,
+    figure10_categories,
+    figure11_categories,
+    figure12_categories,
+    figure13_categories,
+    transmissions_vs_utilization,
+)
+from repro.frames import SizeClass, Trace
+
+from ..conftest import ack, data
+
+
+class TestFigureCategorySets:
+    def test_fig10_is_small_across_rates(self):
+        cats = figure10_categories()
+        assert [c.name for c in cats] == ["S-1", "S-2", "S-5.5", "S-11"]
+
+    def test_fig11_is_xl_across_rates(self):
+        assert [c.name for c in figure11_categories()] == [
+            "XL-1", "XL-2", "XL-5.5", "XL-11",
+        ]
+
+    def test_fig12_is_1mbps_across_sizes(self):
+        assert [c.name for c in figure12_categories()] == [
+            "S-1", "M-1", "L-1", "XL-1",
+        ]
+
+    def test_fig13_is_11mbps_across_sizes(self):
+        assert [c.name for c in figure13_categories()] == [
+            "S-11", "M-11", "L-11", "XL-11",
+        ]
+
+
+class TestCounts:
+    def test_retransmissions_counted(self):
+        rows = [
+            data(0, 10, 1, size=200, rate=11.0, seq=1),
+            data(2000, 10, 1, size=200, rate=11.0, seq=1, retry=True),
+            ack(3000, 1, 10),
+        ]
+        counts = transmissions_vs_utilization(
+            Trace.from_rows(rows), categories=figure10_categories()
+        )
+        assert counts["S-11"].value[0] == pytest.approx(2.0)
+
+    def test_control_frames_never_counted(self):
+        rows = [ack(0, 1, 10)]
+        counts = transmissions_vs_utilization(
+            Trace.from_rows(rows), categories=figure10_categories()
+        )
+        for name in counts.names:
+            assert np.all(counts[name].value == 0)
+
+    def test_dominant_at(self):
+        rows = (
+            [data(i * 1000, 10, 1, size=200, rate=11.0) for i in range(5)]
+            + [data(50_000, 10, 1, size=200, rate=1.0)]
+        )
+        counts = transmissions_vs_utilization(
+            Trace.from_rows(rows), categories=figure10_categories()
+        )
+        util = float(counts["S-11"].utilization[0])
+        assert counts.dominant_at(util) == "S-11"
+
+    def test_per_second_averaging(self):
+        # 4 S-11 frames in second 0, 2 in second 1, same utilization bin
+        # would average; here different bins so both appear raw.
+        rows = [data(i * 1000, 10, 1, size=200, rate=11.0) for i in range(4)]
+        rows += [
+            data(1_000_000 + i * 1000, 10, 1, size=200, rate=11.0) for i in range(2)
+        ]
+        counts = transmissions_vs_utilization(
+            Trace.from_rows(rows), categories=(Category.from_name("S-11"),)
+        )
+        total = (counts["S-11"].value * counts["S-11"].count).sum()
+        assert total == pytest.approx(6.0)

@@ -1,0 +1,77 @@
+"""Tests for per-second channel utilization (paper Eq 8, Fig 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import frame_cbt_us, utilization_histogram, utilization_series
+from repro.frames import FrameType, Trace
+
+from ..conftest import data
+
+
+class TestUtilizationSeries:
+    def test_eq8_percentage(self):
+        """A second holding exactly one known frame: U = CBT / 1e6 * 100."""
+        trace = Trace.from_rows([data(0, 10, 1, size=1000, rate=1.0)])
+        series = utilization_series(trace)
+        expected = frame_cbt_us(FrameType.DATA, 1000, 1.0) / 1e6 * 100
+        assert series.percent[0] == pytest.approx(expected)
+
+    def test_busy_second_approaches_100(self):
+        """~116 back-to-back XL-1 frames fill a second almost completely."""
+        cbt = frame_cbt_us(FrameType.DATA, 1060, 1.0)  # ~8994 us
+        n = int(1_000_000 // cbt)
+        rows = [data(int(i * cbt), 10, 1, size=1060, rate=1.0) for i in range(n)]
+        series = utilization_series(Trace.from_rows(rows))
+        assert 95.0 <= series.percent[0] <= 101.0
+
+    def test_clipped(self):
+        trace = Trace.from_rows(
+            [data(i * 1000, 10, 1, size=1400, rate=1.0) for i in range(200)]
+        )
+        series = utilization_series(trace)
+        assert series.percent[0] > 100.0  # raw metric exceeds 100 when oversubscribed
+        assert series.clipped()[0] == 100.0
+
+    def test_alignment_n_seconds(self):
+        trace = Trace.from_rows([data(0, 10, 1)])
+        series = utilization_series(trace, n_seconds=4)
+        assert len(series) == 4
+        assert np.all(series.percent[1:] == 0)
+
+    def test_seconds_axis(self):
+        trace = Trace.from_rows([data(0, 10, 1), data(2_100_000, 10, 1)])
+        series = utilization_series(trace)
+        assert list(series.seconds) == [0, 1, 2]
+
+    def test_empty_trace(self):
+        series = utilization_series(Trace.empty())
+        assert len(series) == 0
+
+
+class TestHistogram:
+    def test_counts_sum_to_seconds(self):
+        rows = [data(i * 300_000, 10, 1, size=800, rate=5.5) for i in range(40)]
+        trace = Trace.from_rows(rows)
+        lefts, counts = utilization_histogram(trace)
+        series = utilization_series(trace)
+        assert counts.sum() == len(series)
+        assert len(lefts) == len(counts) == 100
+
+    def test_mode_percent(self):
+        # Nine identical seconds -> the mode is that utilization level.
+        cbt = frame_cbt_us(FrameType.DATA, 1000, 11.0)
+        rows = []
+        for s in range(9):
+            for i in range(300):  # ~30% utilization
+                rows.append(data(s * 1_000_000 + int(i * cbt), 10, 1, 1000, 11.0))
+        series = utilization_series(Trace.from_rows(rows))
+        assert series.mode_percent() == pytest.approx(
+            np.round(series.percent[0]) + 0.5, abs=1.0
+        )
+
+    def test_mode_of_empty_is_zero(self):
+        from repro.core import UtilizationSeries
+
+        empty = UtilizationSeries(start_us=0, percent=np.empty(0))
+        assert empty.mode_percent() == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for the 802.11 frame taxonomy."""
+
+import pytest
+
+from repro.frames import (
+    DOT11_RATES_MBPS,
+    FrameType,
+    code_to_rate,
+    frame_type_from_dot11,
+    is_control,
+    is_data,
+    is_management,
+    rate_to_code,
+)
+
+
+class TestRateCodes:
+    def test_all_80211b_rates_round_trip(self):
+        for code, rate in enumerate(DOT11_RATES_MBPS):
+            assert rate_to_code(rate) == code
+            assert code_to_rate(code) == rate
+
+    def test_rates_are_the_80211b_set(self):
+        assert DOT11_RATES_MBPS == (1.0, 2.0, 5.5, 11.0)
+
+    @pytest.mark.parametrize("bad", [0.0, 6.0, 54.0, -1.0, 10.999])
+    def test_non_80211b_rate_rejected(self, bad):
+        with pytest.raises(ValueError):
+            rate_to_code(bad)
+
+    def test_integer_rates_accepted(self):
+        assert rate_to_code(11) == 3
+        assert rate_to_code(1) == 0
+
+
+class TestFrameTypeMapping:
+    @pytest.mark.parametrize("ftype", list(FrameType))
+    def test_dot11_round_trip(self, ftype):
+        t, s = ftype.dot11_type_subtype
+        assert frame_type_from_dot11(t, s) == ftype
+
+    def test_unknown_management_subtype_collapses_to_mgmt(self):
+        assert frame_type_from_dot11(0, 4) == FrameType.MGMT  # probe request
+
+    def test_unknown_data_subtype_collapses_to_data(self):
+        assert frame_type_from_dot11(2, 8) == FrameType.DATA  # QoS data
+
+    def test_unknown_control_subtype_rejected(self):
+        with pytest.raises(ValueError):
+            frame_type_from_dot11(1, 0)
+
+    def test_reserved_type_rejected(self):
+        with pytest.raises(ValueError):
+            frame_type_from_dot11(3, 0)
+
+
+class TestPredicates:
+    def test_control_frames(self):
+        assert is_control(FrameType.ACK)
+        assert is_control(FrameType.RTS)
+        assert is_control(FrameType.CTS)
+        assert not is_control(FrameType.DATA)
+        assert not is_control(FrameType.BEACON)
+
+    def test_management_frames(self):
+        assert is_management(FrameType.BEACON)
+        assert is_management(FrameType.MGMT)
+        assert not is_management(FrameType.ACK)
+
+    def test_data_frames(self):
+        assert is_data(FrameType.DATA)
+        assert not is_data(FrameType.MGMT)

@@ -1,0 +1,145 @@
+"""Unit and property tests for the columnar Trace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frames import FrameRow, FrameType, NodeInfo, NodeRoster, Trace
+
+
+def _rows(n, channel=1):
+    return [
+        FrameRow(
+            time_us=i * 100,
+            ftype=FrameType.DATA,
+            rate_mbps=11.0,
+            size=500 + i,
+            src=10,
+            dst=1,
+            channel=channel,
+            seq=i,
+        )
+        for i in range(n)
+    ]
+
+
+class TestConstruction:
+    def test_from_rows_round_trips(self):
+        rows = _rows(5)
+        trace = Trace.from_rows(rows)
+        assert len(trace) == 5
+        assert [r.size for r in trace.iter_rows()] == [r.size for r in rows]
+        assert trace.row(3) == rows[3]
+
+    def test_empty(self):
+        trace = Trace.empty()
+        assert len(trace) == 0
+        assert trace.duration_us == 0
+        assert trace.is_time_sorted()
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ValueError, match="missing columns"):
+            Trace({"time_us": np.array([1])})
+
+    def test_ragged_columns_rejected(self):
+        cols = Trace.from_rows(_rows(3)).to_columns()
+        cols["size"] = cols["size"][:2]
+        with pytest.raises(ValueError, match="length"):
+            Trace(cols)
+
+    def test_equality(self):
+        a, b = Trace.from_rows(_rows(4)), Trace.from_rows(_rows(4))
+        assert a == b
+        assert a != Trace.from_rows(_rows(3))
+
+
+class TestTransforms:
+    def test_select(self):
+        trace = Trace.from_rows(_rows(10))
+        sub = trace.select(trace.size > 504)
+        assert len(sub) == 5
+        assert sub.size.min() == 505
+
+    def test_select_bad_mask_rejected(self):
+        trace = Trace.from_rows(_rows(3))
+        with pytest.raises(ValueError):
+            trace.select(np.array([1, 0, 1]))  # not boolean
+        with pytest.raises(ValueError):
+            trace.select(np.array([True, False]))  # wrong length
+
+    def test_sorted_by_time_is_stable(self):
+        rows = [
+            FrameRow(time_us=5, ftype=FrameType.DATA, rate_mbps=11.0, size=1, src=1, dst=2),
+            FrameRow(time_us=5, ftype=FrameType.ACK, rate_mbps=1.0, size=14, src=2, dst=1),
+            FrameRow(time_us=1, ftype=FrameType.DATA, rate_mbps=1.0, size=3, src=1, dst=2),
+        ]
+        out = Trace.from_rows(rows).sorted_by_time()
+        assert list(out.time_us) == [1, 5, 5]
+        # ties keep original order: DATA then ACK
+        assert out.row(1).ftype == FrameType.DATA
+        assert out.row(2).ftype == FrameType.ACK
+
+    def test_concatenate_merges_and_sorts(self):
+        a = Trace.from_rows(_rows(3, channel=1))
+        b = Trace.from_rows(_rows(3, channel=6))
+        merged = Trace.concatenate([a, b])
+        assert len(merged) == 6
+        assert merged.is_time_sorted()
+        assert set(np.unique(merged.channel)) == {1, 6}
+
+    def test_concatenate_empty_list(self):
+        assert len(Trace.concatenate([])) == 0
+
+    def test_between(self):
+        trace = Trace.from_rows(_rows(10))
+        window = trace.between(200, 500)
+        assert list(window.time_us) == [200, 300, 400]
+
+    def test_only_type_and_channel(self, exchange_trace):
+        data = exchange_trace.only_type(FrameType.DATA)
+        assert len(data) == 2
+        assert len(exchange_trace.only_channel(6)) == 0
+
+    def test_rate_mbps_column(self):
+        trace = Trace.from_rows(_rows(2))
+        assert list(trace.rate_mbps) == [11.0, 11.0]
+
+    def test_duration(self):
+        trace = Trace.from_rows(_rows(5))
+        assert trace.duration_us == 400
+
+
+class TestRoster:
+    def test_ap_and_station_partition(self, tiny_roster):
+        assert tiny_roster.ap_ids == [1]
+        assert tiny_roster.station_ids == [10, 11]
+        assert len(tiny_roster) == 3
+
+    def test_conflicting_entry_rejected(self, tiny_roster):
+        with pytest.raises(ValueError, match="conflicting"):
+            tiny_roster.add(NodeInfo(node_id=1, is_ap=False))
+
+    def test_idempotent_re_add(self, tiny_roster):
+        tiny_roster.add(NodeInfo(node_id=1, is_ap=True, name="ap-1"))
+        assert len(tiny_roster) == 3
+
+    def test_merged_with(self, tiny_roster):
+        other = NodeRoster([NodeInfo(node_id=20, is_ap=False)])
+        merged = tiny_roster.merged_with(other)
+        assert 20 in merged and 1 in merged
+        assert len(tiny_roster) == 3  # original untouched
+
+    def test_get_default(self, tiny_roster):
+        assert tiny_roster.get(999) is None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=0, max_size=50))
+def test_sort_permutation_preserves_multiset(times):
+    rows = [
+        FrameRow(time_us=t, ftype=FrameType.DATA, rate_mbps=11.0, size=100, src=1, dst=2)
+        for t in times
+    ]
+    out = Trace.from_rows(rows).sorted_by_time()
+    assert sorted(times) == list(out.time_us)
+    assert out.is_time_sorted()

@@ -1,0 +1,61 @@
+"""Unit and property tests for the S/M/L/XL size classes (paper §6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frames import SizeClass, size_class, size_class_array
+
+
+class TestBoundaries:
+    """The paper's class bounds: S 0-400, M 401-800, L 801-1200, XL >1200."""
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, SizeClass.S),
+            (400, SizeClass.S),
+            (401, SizeClass.M),
+            (800, SizeClass.M),
+            (801, SizeClass.L),
+            (1200, SizeClass.L),
+            (1201, SizeClass.XL),
+            (1500, SizeClass.XL),
+            (65535, SizeClass.XL),
+        ],
+    )
+    def test_boundary(self, size, expected):
+        assert size_class(size) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            size_class(-1)
+
+    def test_negative_array_rejected(self):
+        with pytest.raises(ValueError):
+            size_class_array(np.array([100, -5]))
+
+
+class TestVectorised:
+    def test_matches_scalar_on_boundaries(self):
+        sizes = np.array([0, 400, 401, 800, 801, 1200, 1201, 9000])
+        vec = size_class_array(sizes)
+        assert [SizeClass(int(v)) for v in vec] == [size_class(int(s)) for s in sizes]
+
+    def test_dtype_is_compact(self):
+        assert size_class_array(np.array([1, 2, 3])).dtype == np.uint8
+
+    def test_empty(self):
+        assert len(size_class_array(np.array([], dtype=np.int64))) == 0
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+def test_scalar_vector_agree(size):
+    assert size_class_array(np.array([size]))[0] == int(size_class(size))
+
+
+@given(st.integers(min_value=0, max_value=100_000))
+def test_class_ordering_monotone(size):
+    """A larger frame never gets a smaller class."""
+    assert int(size_class(size + 1)) >= int(size_class(size))

@@ -1,0 +1,93 @@
+"""Cross-validation: DCF simulator vs. analytical models.
+
+The simulator and the Cantieni/Bianchi-style fixed-point model are
+independent implementations of the same MAC; under the model's
+assumptions (saturated stations, one rate, one frame size, clean
+channel) they must agree on saturation throughput to first order, and
+disagree in the *expected direction* elsewhere.  This is the strongest
+internal-consistency check the reproduction has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FrameClass, multirate_dcf_model, theoretical_maximum_throughput
+from repro.core import throughput_per_second
+from repro.frames import FrameType
+from repro.sim import ConstantRate, ScenarioConfig, run_scenario, uniform_sizes
+
+
+def _saturated_cell(n_stations: int, size: int = 1000, seed: int = 3):
+    """All-uplink saturated cell: clean links, fixed 11 Mbps, one size."""
+    config = ScenarioConfig(
+        n_stations=n_stations,
+        duration_s=10.0,
+        seed=seed,
+        room_width_m=12.0,
+        room_depth_m=10.0,
+        shadowing_sigma_db=0.0,
+        rate_algorithm="fixed",
+        obstructed_fraction=0.0,
+        uplink=ConstantRate(900.0),   # 7.2 Mbps offered: true saturation
+        downlink=ConstantRate(0.0),
+        size_mix=uniform_sizes(size, size),
+    )
+    return run_scenario(config)
+
+
+def _sim_data_throughput_mbps(result) -> float:
+    """Delivered (acked) data payload bits per second from ground truth."""
+    delivered = sum(s.mac.stats.data_successes for s in result.stations)
+    sizes = 1000  # fixed by the scenario
+    return delivered * sizes * 8 / result.config.duration_s / 1e6
+
+
+@pytest.mark.parametrize("n_stations", [2, 5, 10])
+def test_saturation_throughput_matches_bianchi(n_stations):
+    result = _saturated_cell(n_stations)
+    sim_mbps = _sim_data_throughput_mbps(result)
+    model = multirate_dcf_model(
+        (FrameClass(1000, 11.0, n_stations),), snr_db=30.0
+    )
+    # First-order agreement: within 35 % of the analytical value.  (The
+    # model burns exactly one exchange per collision and ignores NAV
+    # and ACK-timeout dead time, so it is systematically optimistic.)
+    assert sim_mbps == pytest.approx(model.total_throughput_mbps, rel=0.35)
+    # And the model is, as expected, the optimistic side for crowds.
+    if n_stations >= 5:
+        assert sim_mbps <= model.total_throughput_mbps * 1.1
+
+
+def test_throughput_decreases_with_population():
+    """Both the simulator and the model agree on the contention trend."""
+    sim_values = [
+        _sim_data_throughput_mbps(_saturated_cell(n)) for n in (2, 8, 16)
+    ]
+    model_values = [
+        multirate_dcf_model((FrameClass(1000, 11.0, n),), snr_db=30.0
+                            ).total_throughput_mbps
+        for n in (2, 8, 16)
+    ]
+    assert sim_values[0] > sim_values[2]
+    assert model_values[0] > model_values[2]
+
+
+def test_single_sender_approaches_tmt():
+    """One saturated sender with no contention is the TMT setting; the
+    simulator must land within the backoff-spread of Jun's value."""
+    result = _saturated_cell(1)
+    sim_mbps = _sim_data_throughput_mbps(result)
+    tmt = theoretical_maximum_throughput(1000, 11.0).throughput_mbps
+    assert sim_mbps == pytest.approx(tmt, rel=0.1)
+
+
+def test_collision_rate_rises_with_population():
+    """The simulator's retry fraction tracks Bianchi's p trend."""
+    def retry_fraction(result):
+        truth = result.ground_truth
+        data = truth.only_type(FrameType.DATA)
+        return float(np.mean(data.retry)) if len(data) else 0.0
+
+    small = retry_fraction(_saturated_cell(2))
+    crowd = retry_fraction(_saturated_cell(16))
+    assert crowd > small

@@ -1,0 +1,74 @@
+"""Tests for the command-line toolkit and the report renderer."""
+
+import pytest
+
+from repro.core import analyze_trace
+from repro.core.render import render_report
+from repro.tools import build_parser, main
+
+
+class TestRenderReport:
+    def test_sections_present(self, small_scenario):
+        report = analyze_trace(
+            small_scenario.trace, small_scenario.roster, name="render-test"
+        )
+        text = render_report(report)
+        assert "render-test" in text
+        assert "Capture summary" in text
+        assert "Utilization per second" in text
+        assert "Congestion classes" in text
+        assert "Fig 6" in text
+        assert "Unrecorded-frame estimate" in text
+        assert "Most active APs" in text
+
+    def test_render_without_roster(self, small_scenario):
+        report = analyze_trace(small_scenario.trace, name="no-roster")
+        text = render_report(report)
+        assert "Most active APs" not in text  # AP section needs a roster
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "out.pcap", "--stations", "4"])
+        assert args.command == "simulate"
+        assert args.stations == 4
+
+    def test_simulate_then_analyze_then_info(self, tmp_path, capsys):
+        pcap = tmp_path / "cli.pcap"
+        rc = main(
+            [
+                "simulate", str(pcap),
+                "--stations", "4", "--duration", "4",
+                "--uplink-pps", "6", "--downlink-pps", "10",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert pcap.exists()
+
+        rc = main(["analyze", str(pcap), "--name", "cli-session"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-session" in out
+        assert "Congestion classes" in out
+
+        rc = main(["info", str(pcap)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Capture summary" in out
+
+    def test_analyze_empty_capture_fails(self, tmp_path, capsys):
+        from repro.frames import Trace
+        from repro.pcap import write_trace
+
+        pcap = tmp_path / "empty.pcap"
+        write_trace(Trace.empty(), pcap)
+        rc = main(["analyze", str(pcap)])
+        assert rc == 1
+        assert "empty capture" in capsys.readouterr().err
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,115 @@
+"""Tests for the 802.11 MAC header codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frames import BROADCAST, NO_NODE, FrameType
+from repro.pcap import decode_frame, encode_frame, mac_to_node, node_to_mac
+
+
+class TestMacAddresses:
+    def test_round_trip(self):
+        for node in (0, 1, 255, 4095, 60_000):
+            assert mac_to_node(node_to_mac(node)) == node
+
+    def test_broadcast(self):
+        assert node_to_mac(BROADCAST) == b"\xff" * 6
+        assert mac_to_node(b"\xff" * 6) == BROADCAST
+
+    def test_locally_administered_prefix(self):
+        assert node_to_mac(5)[0] == 0x02
+
+    def test_foreign_mac_rejected(self):
+        with pytest.raises(ValueError):
+            mac_to_node(b"\x00\x11\x22\x33\x44\x55")
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(ValueError):
+            node_to_mac(-1)
+
+
+class TestDataFrames:
+    def test_round_trip_with_payload(self):
+        raw = encode_frame(
+            FrameType.DATA, src=10, dst=1, seq=777, retry=True, body_size=500
+        )
+        frame = decode_frame(raw)
+        assert frame.ftype == FrameType.DATA
+        assert frame.src == 10 and frame.dst == 1
+        assert frame.seq == 777
+        assert frame.retry
+        assert frame.body_size == 500
+        assert len(raw) == 24 + 500
+
+    def test_seq_wraps_at_12_bits(self):
+        frame = decode_frame(encode_frame(FrameType.DATA, 1, 2, seq=5000))
+        assert frame.seq == 5000 % 4096
+
+    def test_beacon_broadcast(self):
+        frame = decode_frame(
+            encode_frame(FrameType.BEACON, src=1, dst=BROADCAST, body_size=56)
+        )
+        assert frame.ftype == FrameType.BEACON
+        assert frame.dst == BROADCAST
+        assert frame.src == 1
+
+    def test_mgmt_round_trip(self):
+        frame = decode_frame(encode_frame(FrameType.MGMT, src=9, dst=1))
+        assert frame.ftype == FrameType.MGMT
+
+
+class TestControlFrames:
+    def test_ack_loses_transmitter(self):
+        """Real ACKs carry only the receiver address (paper §4.4)."""
+        frame = decode_frame(encode_frame(FrameType.ACK, src=1, dst=10))
+        assert frame.ftype == FrameType.ACK
+        assert frame.dst == 10
+        assert frame.src == NO_NODE
+
+    def test_cts_loses_transmitter(self):
+        frame = decode_frame(encode_frame(FrameType.CTS, src=1, dst=11))
+        assert frame.src == NO_NODE
+        assert frame.dst == 11
+
+    def test_rts_keeps_both_addresses(self):
+        frame = decode_frame(encode_frame(FrameType.RTS, src=11, dst=1))
+        assert frame.src == 11 and frame.dst == 1
+
+    def test_control_frame_lengths(self):
+        assert len(encode_frame(FrameType.ACK, 1, 2)) == 10
+        assert len(encode_frame(FrameType.CTS, 1, 2)) == 10
+        assert len(encode_frame(FrameType.RTS, 1, 2)) == 16
+
+
+class TestErrors:
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            decode_frame(b"\x00" * 4)
+
+    def test_truncated_rts_rejected(self):
+        raw = encode_frame(FrameType.RTS, 1, 2)[:12]
+        with pytest.raises(ValueError, match="truncated RTS"):
+            decode_frame(raw)
+
+    def test_truncated_data_rejected(self):
+        raw = encode_frame(FrameType.DATA, 1, 2)[:20]
+        with pytest.raises(ValueError, match="truncated"):
+            decode_frame(raw)
+
+
+@given(
+    ftype=st.sampled_from([FrameType.DATA, FrameType.MGMT, FrameType.BEACON]),
+    src=st.integers(min_value=0, max_value=60000),
+    dst=st.integers(min_value=0, max_value=60000),
+    seq=st.integers(min_value=0, max_value=4095),
+    retry=st.booleans(),
+    body=st.integers(min_value=0, max_value=1500),
+)
+def test_data_like_round_trip_property(ftype, src, dst, seq, retry, body):
+    frame = decode_frame(
+        encode_frame(ftype, src=src, dst=dst, seq=seq, retry=retry, body_size=body)
+    )
+    assert (frame.ftype, frame.src, frame.dst, frame.seq, frame.retry, frame.body_size) == (
+        ftype, src, dst, seq, retry, body,
+    )

@@ -1,0 +1,116 @@
+"""Tests for pcap trace IO."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.frames import NO_NODE, FrameType, Trace
+from repro.pcap import PAPER_SNAPLEN, read_trace, write_trace
+
+from ..conftest import ack, beacon, cts, data, rts
+
+
+@pytest.fixture
+def mixed_trace():
+    return Trace.from_rows(
+        [
+            beacon(0, src=1),
+            data(10_000, src=10, dst=1, size=1400, rate=11.0, seq=7, snr=22.0),
+            ack(12_000, src=1, dst=10),
+            rts(50_000, src=11, dst=1),
+            cts(50_500, src=1, dst=11),
+            data(51_000, src=11, dst=1, size=333, rate=2.0, seq=9, retry=True),
+            ack(53_000, src=1, dst=11),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_analysis_fields(self, mixed_trace, tmp_path):
+        path = tmp_path / "capture.pcap"
+        n = write_trace(mixed_trace, path)
+        assert n == len(mixed_trace)
+        loaded = read_trace(path)
+        assert len(loaded) == len(mixed_trace)
+        assert np.array_equal(loaded.time_us, mixed_trace.time_us)
+        assert np.array_equal(loaded.ftype, mixed_trace.ftype)
+        assert np.array_equal(loaded.rate_code, mixed_trace.rate_code)
+        assert np.array_equal(loaded.size, mixed_trace.size)
+        assert np.array_equal(loaded.dst, mixed_trace.dst)
+        assert np.array_equal(loaded.retry, mixed_trace.retry)
+        assert np.array_equal(loaded.channel, mixed_trace.channel)
+
+    def test_ack_cts_transmitter_lost_on_air(self, mixed_trace, tmp_path):
+        """ACK/CTS have no TA in 802.11; their src reads back NO_NODE."""
+        path = tmp_path / "capture.pcap"
+        write_trace(mixed_trace, path)
+        loaded = read_trace(path)
+        control = (loaded.ftype == int(FrameType.ACK)) | (
+            loaded.ftype == int(FrameType.CTS)
+        )
+        assert np.all(loaded.src[control] == NO_NODE)
+        assert np.all(loaded.src[~control] == mixed_trace.src[~control])
+
+    def test_snaplen_truncation_preserves_sizes(self, mixed_trace, tmp_path):
+        """The paper's 250-byte snap length must not corrupt frame sizes."""
+        path = tmp_path / "capture.pcap"
+        write_trace(mixed_trace, path, snaplen=PAPER_SNAPLEN)
+        loaded = read_trace(path)
+        assert np.array_equal(loaded.size, mixed_trace.size)
+        # File is actually truncated: smaller than a full-size write.
+        full = tmp_path / "full.pcap"
+        write_trace(mixed_trace, full, snaplen=65535)
+        assert path.stat().st_size < full.stat().st_size
+
+    def test_snr_round_trips_to_1db(self, mixed_trace, tmp_path):
+        path = tmp_path / "capture.pcap"
+        write_trace(mixed_trace, path)
+        loaded = read_trace(path)
+        assert np.allclose(loaded.snr_db, mixed_trace.snr_db, atol=0.51)
+
+    def test_analysis_equivalence(self, small_scenario, tmp_path):
+        """Utilization computed from the pcap matches the original trace."""
+        from repro.core import utilization_series
+
+        path = tmp_path / "scenario.pcap"
+        write_trace(small_scenario.trace, path)
+        loaded = read_trace(path)
+        original = utilization_series(small_scenario.trace)
+        reloaded = utilization_series(loaded)
+        assert np.allclose(original.percent, reloaded.percent)
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(ValueError, match="magic"):
+            read_trace(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "tiny.pcap"
+        path.write_bytes(b"\x01")
+        with pytest.raises(ValueError, match="too short"):
+            read_trace(path)
+
+    def test_wrong_linktype_rejected(self, tmp_path):
+        path = tmp_path / "eth.pcap"
+        path.write_bytes(
+            struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1)
+        )
+        with pytest.raises(ValueError, match="linktype"):
+            read_trace(path)
+
+    def test_truncated_record_rejected(self, mixed_trace, tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_trace(mixed_trace, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        with pytest.raises(ValueError, match="truncated"):
+            read_trace(path)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_trace(Trace.empty(), path)
+        assert len(read_trace(path)) == 0

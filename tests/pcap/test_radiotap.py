@@ -1,0 +1,89 @@
+"""Tests for the radiotap header codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pcap import CHANNEL_FREQ_MHZ, RadiotapHeader, channel_from_freq
+
+
+class TestChannelMap:
+    def test_known_frequencies(self):
+        assert CHANNEL_FREQ_MHZ[1] == 2412
+        assert CHANNEL_FREQ_MHZ[6] == 2437
+        assert CHANNEL_FREQ_MHZ[11] == 2462
+        assert CHANNEL_FREQ_MHZ[14] == 2484
+
+    def test_round_trip(self):
+        for channel in (1, 6, 11):
+            assert channel_from_freq(CHANNEL_FREQ_MHZ[channel]) == channel
+
+    def test_unknown_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            channel_from_freq(5000)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        header = RadiotapHeader(
+            tsft_us=123_456_789, rate_mbps=5.5, channel=6,
+            signal_dbm=-57, noise_dbm=-96,
+        )
+        decoded, length = RadiotapHeader.decode(header.encode())
+        assert decoded == header
+        assert length == len(header.encode())
+
+    def test_snr_property(self):
+        header = RadiotapHeader(
+            tsft_us=0, rate_mbps=1.0, channel=1, signal_dbm=-60, noise_dbm=-96
+        )
+        assert header.snr_db == 36.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RadiotapHeader(
+                tsft_us=0, rate_mbps=0.0, channel=1, signal_dbm=-60, noise_dbm=-96
+            ).encode()
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(ValueError):
+            RadiotapHeader(
+                tsft_us=0, rate_mbps=1.0, channel=99, signal_dbm=-60, noise_dbm=-96
+            ).encode()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            RadiotapHeader.decode(b"\x00\x00\x04")
+
+    def test_wrong_version_rejected(self):
+        header = bytearray(
+            RadiotapHeader(
+                tsft_us=0, rate_mbps=1.0, channel=1, signal_dbm=-60, noise_dbm=-96
+            ).encode()
+        )
+        header[0] = 1
+        with pytest.raises(ValueError, match="version"):
+            RadiotapHeader.decode(bytes(header))
+
+    def test_signal_clamped_to_byte_range(self):
+        header = RadiotapHeader(
+            tsft_us=0, rate_mbps=1.0, channel=1, signal_dbm=500, noise_dbm=-500
+        )
+        decoded, _ = RadiotapHeader.decode(header.encode())
+        assert decoded.signal_dbm == 127
+        assert decoded.noise_dbm == -128
+
+
+@given(
+    tsft=st.integers(min_value=0, max_value=2**63),
+    rate=st.sampled_from([1.0, 2.0, 5.5, 11.0]),
+    channel=st.sampled_from([1, 6, 11]),
+    signal=st.integers(min_value=-110, max_value=0),
+)
+def test_round_trip_property(tsft, rate, channel, signal):
+    header = RadiotapHeader(
+        tsft_us=tsft, rate_mbps=rate, channel=channel,
+        signal_dbm=signal, noise_dbm=-96,
+    )
+    decoded, _ = RadiotapHeader.decode(header.encode())
+    assert decoded == header

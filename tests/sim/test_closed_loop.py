@@ -1,0 +1,83 @@
+"""Tests for the closed-loop (TCP-like) traffic source."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import ClosedLoopSource, MacConfig, uniform_sizes
+
+from .test_dcf import _pair
+
+
+def _source(mac, window=2, total=None, think=0, dst=2, seed=9):
+    return ClosedLoopSource(
+        mac=mac,
+        dst=dst,
+        sizes=uniform_sizes(500, 500),
+        rng=np.random.default_rng(seed),
+        window=window,
+        think_time_us=think,
+        total_msdus=total,
+    )
+
+
+class TestWindowing:
+    def test_completions_release_new_msdus(self):
+        sim, medium, a, b = _pair()
+        source = _source(a.mac if hasattr(a, "mac") else a, window=2)
+        sim.run_until(2_000_000)
+        assert source.completed > 2
+        assert source.delivered == source.completed  # clean channel
+        # Conservation: everything sent either completed or is in flight.
+        assert source.sent - source.completed <= source.window
+
+    def test_total_msdus_bounds_the_transfer(self):
+        sim, medium, a, b = _pair()
+        source = _source(a, window=3, total=7)
+        sim.run_until(5_000_000)
+        assert source.sent == 7
+        assert source.completed == 7
+        data = [f for _, f in medium.ground_truth if f.ftype == FrameType.DATA]
+        assert len(data) == 7
+
+    def test_drops_release_the_window_too(self):
+        config = MacConfig(retry_limit=1)
+        sim, medium, a, b = _pair(distance=5000.0, config=config)
+        source = _source(a, window=2, total=4)
+        sim.run_until(10_000_000)
+        assert source.completed == 4
+        assert source.delivered == 0
+
+    def test_think_time_paces_injections(self):
+        sim, medium, a, b = _pair()
+        fast_src = _source(a, window=1, think=0)
+        sim.run_until(2_000_000)
+        fast = fast_src.completed
+
+        sim2, medium2, a2, b2 = _pair()
+        slow_src = _source(a2, window=1, think=50_000)
+        sim2.run_until(2_000_000)
+        assert slow_src.completed < fast
+
+    def test_window_validation(self):
+        sim, medium, a, b = _pair()
+        with pytest.raises(ValueError):
+            _source(a, window=0)
+
+    def test_one_consumer_per_mac(self):
+        sim, medium, a, b = _pair()
+        _source(a, window=1)
+        with pytest.raises(ValueError, match="consumer"):
+            _source(a, window=1)
+
+
+class TestSelfLimiting:
+    def test_closed_loop_does_not_oversubscribe(self):
+        """A window-limited source tracks the service rate: the MAC
+        queue never grows beyond the window, unlike open-loop Poisson
+        sources that overflow under congestion."""
+        sim, medium, a, b = _pair()
+        source = _source(a, window=4)
+        sim.run_until(3_000_000)
+        assert a.queue_length <= source.window
+        assert a.stats.queue_overflows == 0

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30, lambda: fired.append(30))
+        sim.schedule_at(10, lambda: fired.append(10))
+        sim.schedule_at(20, lambda: fired.append(20))
+        sim.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5, lambda: fired.append("a"))
+        sim.schedule_at(5, lambda: fired.append("b"))
+        sim.run_until(10)
+        assert fired == ["a", "b"]
+
+    def test_schedule_in_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_in(5, lambda: sim.schedule_in(7, lambda: fired.append(sim.now_us)))
+        sim.run_until(100)
+        assert fired == [12]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        sim.run_until(10)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule_in(-1, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_at(10, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until(100)
+        assert fired == []
+        assert not handle.pending
+
+    def test_cancel_twice_is_safe(self):
+        handle = Simulator().schedule_at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+
+class TestRunSemantics:
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(500)
+        assert sim.now_us == 500
+
+    def test_events_after_horizon_not_executed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(100, lambda: fired.append(1))
+        sim.run_until(99)
+        assert fired == []
+        sim.run_until(100)
+        assert fired == [1]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now_us)
+            if sim.now_us < 50:
+                sim.schedule_in(10, chain)
+
+        sim.schedule_at(0, chain)
+        sim.run_until(100)
+        assert fired == [0, 10, 20, 30, 40, 50]
+
+    def test_run_all_safety_limit(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_in(1, forever)
+
+        sim.schedule_at(0, forever)
+        with pytest.raises(RuntimeError, match="event limit"):
+            sim.run_all(safety_limit=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(t, lambda: None)
+        sim.run_until(10)
+        assert sim.events_processed == 5

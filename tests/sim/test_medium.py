@@ -1,0 +1,160 @@
+"""Tests for the shared medium: sensing, collisions, capture, delivery."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import Medium, PhyModel, Position, PropagationModel, SimFrame, Simulator
+
+
+class RecordingListener:
+    """Minimal medium listener that logs its callbacks."""
+
+    def __init__(self, node_id, position, channel=1, sense=-85.0):
+        self.node_id = node_id
+        self.position = position
+        self.channel = channel
+        self.sense_threshold_dbm = sense
+        self.busy_events = 0
+        self.idle_events = 0
+        self.received = []
+
+    def on_medium_busy(self):
+        self.busy_events += 1
+
+    def on_medium_idle(self):
+        self.idle_events += 1
+
+    def on_frame_received(self, frame, snr_db):
+        self.received.append((frame, snr_db))
+
+
+def _make_medium(seed=1, shadowing=0.0):
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        PropagationModel(shadowing_sigma_db=shadowing),
+        PhyModel(),
+        rng=np.random.default_rng(seed),
+    )
+    return sim, medium
+
+
+def _frame(src, dst, size=500, rate=11.0, channel=1, ftype=FrameType.DATA):
+    return SimFrame(ftype=ftype, src=src, dst=dst, size=size, rate_mbps=rate, channel=channel)
+
+
+class TestDelivery:
+    def test_clean_frame_delivered_to_all_listeners(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        rx = RecordingListener(2, Position(5, 0))
+        overhear = RecordingListener(3, Position(3, 3))
+        for node in (tx, rx, overhear):
+            medium.attach(node)
+        medium.transmit(tx, _frame(1, 2), tx_power_dbm=15.0)
+        sim.run_until(10_000)
+        assert len(rx.received) == 1
+        assert len(overhear.received) == 1
+        assert len(tx.received) == 0  # no self-reception
+        frame, snr = rx.received[0]
+        assert frame.src == 1 and snr > 20
+
+    def test_out_of_range_listener_hears_nothing(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        hidden = RecordingListener(2, Position(5000, 0))
+        medium.attach(tx)
+        medium.attach(hidden)
+        medium.transmit(tx, _frame(1, 2), tx_power_dbm=15.0)
+        sim.run_until(10_000)
+        assert hidden.received == []
+        assert hidden.busy_events == 0  # below sense threshold: hidden terminal
+
+    def test_cross_channel_isolation(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0), channel=1)
+        other = RecordingListener(2, Position(1, 0), channel=6)
+        medium.attach(tx)
+        medium.attach(other)
+        medium.transmit(tx, _frame(1, 2, channel=1), tx_power_dbm=15.0)
+        sim.run_until(10_000)
+        assert other.received == []
+        assert other.busy_events == 0
+
+    def test_duration_filled_from_phy(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        frame = _frame(1, 2, size=1500, rate=11.0)
+        medium.transmit(tx, frame, 15.0)
+        assert frame.duration_us == round(192 + 8 * 1534 / 11.0)
+
+
+class TestCarrierSense:
+    def test_busy_idle_transitions(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        nearby = RecordingListener(2, Position(4, 0))
+        medium.attach(tx)
+        medium.attach(nearby)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        assert not medium.is_idle(nearby)
+        assert nearby.busy_events == 1
+        sim.run_until(1_000_000)
+        assert medium.is_idle(nearby)
+        assert nearby.idle_events == 1
+
+    def test_overlapping_transmissions_single_busy_period(self):
+        sim, medium = _make_medium()
+        a = RecordingListener(1, Position(0, 0))
+        b = RecordingListener(2, Position(2, 0))
+        listener = RecordingListener(3, Position(1, 0))
+        for node in (a, b, listener):
+            medium.attach(node)
+        medium.transmit(a, _frame(1, 3, size=1500, rate=1.0), 15.0)
+        sim.run_until(100)
+        medium.transmit(b, _frame(2, 3, size=1500, rate=1.0), 15.0)
+        sim.run_until(1_000_000)
+        # One busy onset (second tx arrived while already busy), one idle.
+        assert listener.busy_events == 1
+        assert listener.idle_events == 1
+
+
+class TestCollisions:
+    def test_equal_power_collision_destroys_both(self):
+        sim, medium = _make_medium()
+        a = RecordingListener(1, Position(0, 0))
+        b = RecordingListener(2, Position(10, 0))
+        rx = RecordingListener(3, Position(5, 0))  # equidistant: SIR ~ 0 dB
+        for node in (a, b, rx):
+            medium.attach(node)
+        medium.transmit(a, _frame(1, 3, size=1400, rate=11.0), 15.0)
+        medium.transmit(b, _frame(2, 3, size=1400, rate=11.0), 15.0)
+        sim.run_until(1_000_000)
+        assert rx.received == []
+
+    def test_capture_effect_saves_strong_frame(self):
+        sim, medium = _make_medium()
+        strong = RecordingListener(1, Position(1, 0))
+        weak = RecordingListener(2, Position(60, 0))
+        rx = RecordingListener(3, Position(0, 0))
+        for node in (strong, weak, rx):
+            medium.attach(node)
+        medium.transmit(strong, _frame(1, 3, size=500, rate=1.0), 18.0)
+        medium.transmit(weak, _frame(2, 3, size=500, rate=1.0), 8.0)
+        sim.run_until(1_000_000)
+        received_srcs = {f.src for f, _ in rx.received}
+        assert 1 in received_srcs   # strong survives (capture)
+        assert 2 not in received_srcs
+
+    def test_ground_truth_records_everything(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        sim.run_until(100)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        sim.run_until(1_000_000)
+        assert len(medium.ground_truth) == 2
+        assert medium.frames_transmitted == 2

@@ -1,0 +1,94 @@
+"""Tests for transmit power control (the paper's §7 recommendation)."""
+
+import pytest
+
+from repro.sim import PowerControlConfig, TransmitPowerControl
+
+
+class TestController:
+    def test_default_power_before_feedback(self):
+        tpc = TransmitPowerControl(base_power_dbm=12.0)
+        assert tpc.power_for(1) == 12.0
+
+    def test_low_snr_raises_power(self):
+        tpc = TransmitPowerControl(base_power_dbm=12.0)
+        tpc.on_feedback_snr(1, 5.0)  # 9 dB below the 14 dB target
+        assert tpc.power_for(1) > 12.0
+
+    def test_high_snr_lowers_power(self):
+        tpc = TransmitPowerControl(base_power_dbm=12.0)
+        tpc.on_feedback_snr(1, 30.0)
+        assert tpc.power_for(1) < 12.0
+
+    def test_step_limited(self):
+        config = PowerControlConfig(step_limit_db=3.0)
+        tpc = TransmitPowerControl(base_power_dbm=12.0, config=config)
+        tpc.on_feedback_snr(1, -20.0)  # huge deficit
+        assert tpc.power_for(1) == pytest.approx(15.0)
+
+    def test_bounded_by_cap(self):
+        config = PowerControlConfig(max_power_dbm=14.0, step_limit_db=10.0)
+        tpc = TransmitPowerControl(base_power_dbm=12.0, config=config)
+        for _ in range(5):
+            tpc.on_feedback_snr(1, 0.0)
+        assert tpc.power_for(1) == 14.0
+
+    def test_bounded_by_floor(self):
+        config = PowerControlConfig(min_power_dbm=10.0, step_limit_db=10.0)
+        tpc = TransmitPowerControl(base_power_dbm=12.0, config=config)
+        for _ in range(5):
+            tpc.on_feedback_snr(1, 40.0)
+        assert tpc.power_for(1) == 10.0
+
+    def test_links_independent(self):
+        tpc = TransmitPowerControl(base_power_dbm=12.0)
+        tpc.on_feedback_snr(1, 2.0)
+        assert tpc.power_for(2) == 12.0
+
+    def test_reset(self):
+        tpc = TransmitPowerControl(base_power_dbm=12.0)
+        tpc.on_feedback_snr(1, 2.0)
+        tpc.reset(1)
+        assert tpc.power_for(1) == 12.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PowerControlConfig(min_power_dbm=20.0, max_power_dbm=10.0)
+        with pytest.raises(ValueError):
+            PowerControlConfig(ewma_alpha=0.0)
+
+
+class TestInScenario:
+    def test_tpc_raises_obstructed_station_rates(self):
+        """With TPC on, obstructed stations climb back up the rate
+        ladder (the §7 claim: change power so frames stay at high
+        rates) — their delivered traffic shifts away from 1-2 Mbps."""
+        from repro.frames import FrameType
+        from repro.sim import ConstantRate, ScenarioConfig, run_scenario
+        import numpy as np
+
+        def run(tpc: bool):
+            config = ScenarioConfig(
+                n_stations=8,
+                duration_s=10.0,
+                seed=61,
+                room_width_m=36.0,
+                room_depth_m=24.0,
+                shadowing_sigma_db=6.0,
+                path_loss_exponent=3.2,
+                station_tx_power_dbm=12.0,
+                obstructed_fraction=0.25,
+                power_control=tpc,
+                uplink=ConstantRate(10.0),
+                downlink=ConstantRate(2.0),
+            )
+            result = run_scenario(config)
+            truth = result.ground_truth
+            obstructed = set(result.medium.propagation.node_extra_loss_db)
+            data = truth.only_type(FrameType.DATA)
+            from_obstructed = np.isin(data.src, sorted(obstructed))
+            if not from_obstructed.any():
+                return float("nan")
+            return float(np.mean(data.rate_mbps[from_obstructed]))
+
+        assert run(True) > run(False)

@@ -1,0 +1,129 @@
+"""Tests for the scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import (
+    BEACON_INTERVAL_US,
+    ConstantRate,
+    ScenarioConfig,
+    ietf_day_config,
+    ietf_plenary_config,
+    load_ramp_config,
+    run_scenario,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_stations": 0},
+            {"n_aps": 0},
+            {"duration_s": 0},
+            {"rtscts_fraction": 1.5},
+            {"obstructed_fraction": -0.1},
+            {"channels": ()},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+
+class TestRunScenario:
+    def test_roster_and_traces(self, small_scenario):
+        result = small_scenario
+        config = result.config
+        assert len(result.roster.ap_ids) == config.n_aps
+        assert len(result.roster.station_ids) == config.n_stations
+        assert len(result.trace) > 0
+        assert len(result.ground_truth) >= len(result.trace)
+        assert 0 < result.capture_ratio <= 1.0
+
+    def test_trace_sorted_and_channel_consistent(self, small_scenario):
+        trace = small_scenario.trace
+        assert trace.is_time_sorted()
+        assert set(np.unique(trace.channel)) <= {1, 6, 11}
+
+    def test_beacons_present_at_100ms_cadence(self, small_scenario):
+        truth = small_scenario.ground_truth
+        beacons = truth.only_type(FrameType.BEACON)
+        duration_s = small_scenario.config.duration_s
+        expected = duration_s * 10 * small_scenario.config.n_aps
+        assert len(beacons) == pytest.approx(expected, rel=0.25)
+
+    def test_uplink_and_downlink_traffic(self, small_scenario):
+        truth = small_scenario.ground_truth
+        data = truth.only_type(FrameType.DATA)
+        ap_ids = set(small_scenario.roster.ap_ids)
+        from_ap = np.isin(data.src, list(ap_ids)).sum()
+        to_ap = np.isin(data.dst, list(ap_ids)).sum()
+        assert from_ap > 0 and to_ap > 0
+
+    def test_deterministic_given_seed(self):
+        config = ScenarioConfig(
+            n_stations=3, duration_s=2.0, seed=77,
+            uplink=ConstantRate(5.0), downlink=ConstantRate(5.0),
+        )
+        a = run_scenario(config)
+        b = run_scenario(config)
+        assert a.trace == b.trace
+
+    def test_rtscts_population(self):
+        config = ScenarioConfig(
+            n_stations=4, duration_s=1.0, rtscts_fraction=0.5, seed=3,
+            uplink=ConstantRate(2.0), downlink=ConstantRate(2.0),
+        )
+        result = run_scenario(config)
+        rtscts = [s for s in result.stations if s.uses_rtscts]
+        assert len(rtscts) == 2
+        # Roster reflects the RTS/CTS flag for the fairness analysis.
+        flagged = [n for n in result.roster if n.uses_rtscts]
+        assert len(flagged) == 2
+
+    def test_activity_windows_limit_traffic(self):
+        config = ScenarioConfig(
+            n_stations=2, duration_s=4.0, seed=5,
+            uplink=ConstantRate(30.0), downlink=ConstantRate(0.0),
+            activity=lambda j, rng: (2_000_000, 4_000_000),
+        )
+        result = run_scenario(config)
+        data = result.ground_truth.only_type(FrameType.DATA)
+        if len(data):
+            assert data.time_us.min() >= 2_000_000
+
+    def test_multi_channel_scenario(self):
+        config = ScenarioConfig(
+            n_stations=6, n_aps=3, channels=(1, 6, 11), duration_s=2.0, seed=8,
+            uplink=ConstantRate(4.0), downlink=ConstantRate(4.0),
+        )
+        result = run_scenario(config)
+        assert set(np.unique(result.ground_truth.channel)) == {1, 6, 11}
+        assert len(result.sniffers) == 3
+
+
+class TestNamedConfigs:
+    def test_load_ramp_shape(self):
+        config = load_ramp_config(duration_s=10.0)
+        assert config.n_aps == 1
+        start = config.downlink.rate_at(0)
+        end = config.downlink.rate_at(config.duration_us)
+        # Modulation adds noise, but the trend must be strongly upward.
+        assert end > start
+
+    def test_ietf_day_config(self):
+        config = ietf_day_config(duration_s=10.0)
+        assert config.channels == (1, 6, 11)
+        assert config.n_aps == 6
+        assert config.activity is not None
+
+    def test_ietf_plenary_heavier_than_day(self):
+        day = ietf_day_config(duration_s=10.0)
+        plenary = ietf_plenary_config(duration_s=10.0)
+        # Compare underlying mean offered load (modulation is unit-mean).
+        assert plenary.downlink.base.rate_at(0) > day.downlink.base.rate_at(0)

@@ -1,0 +1,139 @@
+"""Tests for the vicinity-sniffer capture model (paper §4.2/§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import (
+    Medium,
+    PhyModel,
+    Position,
+    PropagationModel,
+    SimFrame,
+    Sniffer,
+    SnifferConfig,
+    Simulator,
+    ground_truth_trace,
+)
+
+from .test_medium import RecordingListener, _frame
+
+
+def _setup(sniffer_config=None, seed=5):
+    sim = Simulator()
+    medium = Medium(
+        sim,
+        PropagationModel(shadowing_sigma_db=0.0),
+        PhyModel(),
+        rng=np.random.default_rng(seed),
+    )
+    sniffer = Sniffer(
+        sim,
+        medium,
+        node_id=60000,
+        position=Position(5, 5),
+        channel=1,
+        rng=np.random.default_rng(seed + 1),
+        config=sniffer_config or SnifferConfig(drop_floor=0.0, drop_per_frame=0.0),
+    )
+    return sim, medium, sniffer
+
+
+class TestCapture:
+    def test_nearby_frames_captured_with_metadata(self):
+        sim, medium, sniffer = _setup()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        frame = _frame(1, 2, size=800, rate=5.5)
+        frame.seq = 42
+        frame.retry = True
+        medium.transmit(tx, frame, 15.0)
+        sim.run_until(1_000_000)
+        trace = sniffer.to_trace()
+        assert len(trace) == 1
+        row = trace.row(0)
+        assert row.size == 800
+        assert row.rate_mbps == 5.5
+        assert row.seq == 42
+        assert row.retry
+        assert row.snr_db > 10
+        assert row.channel == 1
+
+    def test_timestamp_is_frame_start(self):
+        sim, medium, sniffer = _setup()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        sim.run_until(7_777)
+        frame = _frame(1, 2, size=500, rate=11.0)
+        medium.transmit(tx, frame, 15.0)
+        sim.run_until(1_000_000)
+        assert sniffer.to_trace().row(0).time_us == 7_777
+
+    def test_distant_transmitter_hidden(self):
+        sim, medium, sniffer = _setup()
+        far = RecordingListener(1, Position(4000, 4000))
+        medium.attach(far)
+        medium.transmit(far, _frame(1, 2), 15.0)
+        sim.run_until(1_000_000)
+        assert sniffer.frames_captured == 0
+
+    def test_other_channel_ignored(self):
+        sim, medium, sniffer = _setup()
+        tx = RecordingListener(1, Position(0, 0), channel=6)
+        medium.attach(tx)
+        medium.transmit(tx, _frame(1, 2, channel=6), 15.0)
+        sim.run_until(1_000_000)
+        assert sniffer.frames_captured == 0
+
+
+class TestHardwareDrops:
+    def test_high_drop_config_loses_frames(self):
+        config = SnifferConfig(drop_floor=1.0, drop_per_frame=0.0, drop_ceiling=1.0)
+        sim, medium, sniffer = _setup(sniffer_config=config)
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for i in range(10):
+            medium.transmit(tx, _frame(1, 2, size=100), 15.0)
+            sim.run_until(sim.now_us + 10_000)
+        sim.run_until(10_000_000)
+        assert sniffer.frames_captured == 0
+        assert sniffer.hardware_drops == 10
+
+    def test_load_dependent_drops(self):
+        """Drop rate grows with capture load (Yeo et al. behaviour)."""
+        config = SnifferConfig(drop_floor=0.0, drop_per_frame=0.01, drop_ceiling=0.9)
+        sim, medium, sniffer = _setup(sniffer_config=config)
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for i in range(300):
+            medium.transmit(tx, _frame(1, 2, size=60), 15.0)
+            sim.run_until(sim.now_us + 700)
+        sim.run_until(10_000_000)
+        assert sniffer.hardware_drops > 0
+        assert sniffer.frames_captured > 0
+
+
+class TestGroundTruth:
+    def test_ground_truth_trace_complete_and_sorted(self):
+        sim, medium, sniffer = _setup()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for i in range(5):
+            medium.transmit(tx, _frame(1, 2, size=100 + i), 15.0)
+            sim.run_until(sim.now_us + 5_000)
+        sim.run_until(1_000_000)
+        truth = ground_truth_trace(medium)
+        assert len(truth) == 5
+        assert truth.is_time_sorted()
+        assert list(truth.size) == [100, 101, 102, 103, 104]
+
+    def test_capture_subset_of_ground_truth(self):
+        config = SnifferConfig(drop_floor=0.3, drop_per_frame=0.0)
+        sim, medium, sniffer = _setup(sniffer_config=config)
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for _ in range(100):
+            medium.transmit(tx, _frame(1, 2, size=100), 15.0)
+            sim.run_until(sim.now_us + 3_000)
+        sim.run_until(10_000_000)
+        assert sniffer.frames_captured < len(ground_truth_trace(medium))

@@ -1,0 +1,137 @@
+"""Tests for traffic schedules and Poisson sources."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import (
+    ConstantRate,
+    LinearRamp,
+    ModulatedRate,
+    PoissonSource,
+    ScaledRate,
+    Simulator,
+    StepSchedule,
+    class_mixture,
+    uniform_sizes,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantRate(7.0).rate_at(0) == 7.0
+        assert ConstantRate(7.0).rate_at(10**9) == 7.0
+
+    def test_linear_ramp_endpoints(self):
+        ramp = LinearRamp(1.0, 11.0, 10_000_000)
+        assert ramp.rate_at(0) == 1.0
+        assert ramp.rate_at(5_000_000) == pytest.approx(6.0)
+        assert ramp.rate_at(10_000_000) == 11.0
+        assert ramp.rate_at(99_000_000) == 11.0  # clamped past the end
+
+    def test_zero_duration_ramp(self):
+        assert LinearRamp(1.0, 9.0, 0).rate_at(123) == 9.0
+
+    def test_step_schedule(self):
+        steps = StepSchedule(((0, 1.0), (5_000_000, 4.0), (8_000_000, 2.0)))
+        assert steps.rate_at(0) == 1.0
+        assert steps.rate_at(6_000_000) == 4.0
+        assert steps.rate_at(9_000_000) == 2.0
+
+    def test_scaled(self):
+        assert ScaledRate(ConstantRate(10.0), 0.35).rate_at(0) == pytest.approx(3.5)
+
+    def test_modulated_mean_near_one(self):
+        """Log-normal multipliers have unit mean over many epochs."""
+        mod = ModulatedRate(ConstantRate(1.0), sigma=0.8, period_us=1000, seed=3)
+        rates = [mod.rate_at(t * 1000) for t in range(5000)]
+        assert np.mean(rates) == pytest.approx(1.0, rel=0.1)
+
+    def test_modulated_constant_within_epoch(self):
+        mod = ModulatedRate(ConstantRate(5.0), sigma=1.0, period_us=1_000_000)
+        assert mod.rate_at(100) == mod.rate_at(999_999)
+
+    def test_modulated_deterministic_per_seed(self):
+        a = ModulatedRate(ConstantRate(1.0), seed=7).rate_at(0)
+        b = ModulatedRate(ConstantRate(1.0), seed=7).rate_at(0)
+        assert a == b
+
+    def test_modulated_validation(self):
+        with pytest.raises(ValueError):
+            ModulatedRate(ConstantRate(1.0), sigma=-1)
+        with pytest.raises(ValueError):
+            ModulatedRate(ConstantRate(1.0), period_us=0)
+
+
+class TestSizeSamplers:
+    def test_uniform_bounds(self):
+        sampler = uniform_sizes(100, 200)
+        rng = np.random.default_rng(1)
+        sizes = [sampler(rng) for _ in range(500)]
+        assert min(sizes) >= 100 and max(sizes) <= 200
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_sizes(200, 100)
+
+    def test_class_mixture_respects_bands(self):
+        from repro.frames import SizeClass, size_class
+
+        sampler = class_mixture({"S": 0.5, "XL": 0.5})
+        rng = np.random.default_rng(2)
+        classes = {size_class(sampler(rng)) for _ in range(300)}
+        assert classes == {SizeClass.S, SizeClass.XL}
+
+    def test_class_mixture_validation(self):
+        with pytest.raises(ValueError):
+            class_mixture({"HUGE": 1.0})
+        with pytest.raises(ValueError):
+            class_mixture({"S": 0.0})
+
+
+class TestPoissonSource:
+    def _run(self, schedule, duration_s=20, start_us=0, end_us=None, seed=4):
+        sim = Simulator()
+        arrivals = []
+
+        def enqueue(dst, size, ftype):
+            arrivals.append((sim.now_us, dst, size, ftype))
+            return True
+
+        source = PoissonSource(
+            sim=sim,
+            enqueue=enqueue,
+            dst=9,
+            schedule=schedule,
+            sizes=uniform_sizes(100, 100),
+            rng=np.random.default_rng(seed),
+            start_us=start_us,
+            end_us=end_us,
+        )
+        sim.run_until(int(duration_s * 1e6))
+        return arrivals, source
+
+    def test_mean_rate(self):
+        arrivals, _ = self._run(ConstantRate(50.0), duration_s=20)
+        assert len(arrivals) == pytest.approx(1000, rel=0.15)
+
+    def test_arrival_payloads(self):
+        arrivals, _ = self._run(ConstantRate(10.0), duration_s=2)
+        assert all(dst == 9 and size == 100 and ftype == FrameType.DATA
+                   for _, dst, size, ftype in arrivals)
+
+    def test_activity_window_respected(self):
+        arrivals, _ = self._run(
+            ConstantRate(100.0), duration_s=10, start_us=2_000_000, end_us=4_000_000
+        )
+        times = [t for t, *_ in arrivals]
+        assert min(times) >= 2_000_000
+        assert max(times) <= 4_000_000
+
+    def test_zero_rate_produces_nothing(self):
+        arrivals, _ = self._run(ConstantRate(0.0), duration_s=5)
+        assert arrivals == []
+
+    def test_packets_offered_counter(self):
+        arrivals, source = self._run(ConstantRate(20.0), duration_s=5)
+        assert source.packets_offered == len(arrivals)
