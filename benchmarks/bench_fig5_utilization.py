@@ -9,21 +9,26 @@ the high-utilization band.
 
 import numpy as np
 
-from repro.core import utilization_series
+from repro.pipeline import run_consumers
 from repro.viz import histogram_chart, line_chart
+
+
+def _utilization(trace):
+    """Per-channel utilization via the streaming pipeline's single pass."""
+    return run_consumers(trace, ["utilization"])["utilization"]
 
 
 def test_fig5_utilization(benchmark, day_result, plenary_result, report_file):
     """Utilization is a *per-channel* metric (Eq 8 normalises one
     channel's busy time); like the paper we compute it per channel and
     plot each channel's series."""
-    day_ch1 = benchmark(utilization_series, day_result.trace.only_channel(1))
+    day_ch1 = benchmark(_utilization, day_result.trace.only_channel(1))
 
     text = ""
     all_series = {}
     for name, result in (("day", day_result), ("plenary", plenary_result)):
         for channel in result.config.channels:
-            series = utilization_series(result.trace.only_channel(channel))
+            series = _utilization(result.trace.only_channel(channel))
             all_series[(name, channel)] = series
             text += line_chart(
                 series.seconds,

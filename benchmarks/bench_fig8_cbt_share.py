@@ -12,12 +12,17 @@ band; 1 Mbps share exceeds the 11 Mbps share under high congestion;
 
 import numpy as np
 
-from repro.core import busytime_share_vs_utilization
+from repro.pipeline import run_consumers
 from repro.viz import multi_line_chart
 
 
+def _busytime_share(trace):
+    """Figure 8 series via the streaming pipeline's single pass."""
+    return run_consumers(trace, ["busytime_share"])["busytime_share"]
+
+
 def test_fig8_busytime_share(benchmark, ramp_result, report_file):
-    shares = benchmark(busytime_share_vs_utilization, ramp_result.trace)
+    shares = benchmark(_busytime_share, ramp_result.trace)
 
     band = {rate: shares[rate].restricted(20, 100) for rate in shares.rates}
     text = multi_line_chart(

@@ -17,7 +17,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import CongestionReport, analyze_trace
+from repro.core import CongestionReport
+from repro.pipeline import run_all
 from repro.sim import (
     ScenarioResult,
     ietf_day_config,
@@ -40,7 +41,9 @@ def ramp_result() -> ScenarioResult:
 
 @pytest.fixture(scope="session")
 def ramp_report(ramp_result) -> CongestionReport:
-    return analyze_trace(ramp_result.trace, ramp_result.roster, name="ramp")
+    """Full paper report, computed by the one-pass streaming pipeline
+    (bit-compatible with ``analyze_trace``; see bench_pipeline.py)."""
+    return run_all(ramp_result.trace, ramp_result.roster, name="ramp")
 
 
 @pytest.fixture(scope="session")

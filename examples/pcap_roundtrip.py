@@ -3,11 +3,12 @@
 
 Demonstrates the byte-level interoperability path: the simulator's
 sniffer trace is serialised to a genuine pcap file (linktype 127,
-radiotap + 802.11 headers, the paper's 250-byte snap length), read back
-through the codec, and the congestion analysis is re-run on the decoded
-trace.  The figure-level results must match the live trace exactly —
-the only information lost is what 802.11 itself does not put on the air
-(ACK/CTS transmitter addresses).
+radiotap + 802.11 headers, the paper's 250-byte snap length), then
+both the live trace and the pcap file are streamed through the
+single-pass :mod:`repro.pipeline` — the pcap side straight from the
+file path, chunk by chunk.  The figure-level results must match the
+live trace exactly — the only information lost is what 802.11 itself
+does not put on the air (ACK/CTS transmitter addresses).
 
 Usage::
 
@@ -21,8 +22,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import analyze_trace
 from repro.pcap import PAPER_SNAPLEN, read_trace, write_trace
+from repro.pipeline import run_all
 from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 
 
@@ -47,8 +48,8 @@ def main() -> None:
     loaded = read_trace(path)
     print(f"read back {len(loaded)} frames")
 
-    live = analyze_trace(result.trace, name="live")
-    from_file = analyze_trace(loaded, name="pcap")
+    live = run_all(result.trace, name="live")
+    from_file = run_all(path, name="pcap")  # streamed straight from disk
 
     checks = {
         "frames": (live.summary.n_frames, from_file.summary.n_frames),

@@ -3,7 +3,8 @@
 
 Runs a one-AP, eight-station 802.11b cell for 20 simulated seconds,
 captures the traffic with a vicinity sniffer (exactly as the paper's
-monitoring laptops did), and runs the full congestion analysis:
+monitoring laptops did), and streams the capture once through
+:func:`repro.pipeline.run_all` to get the full congestion analysis:
 utilization, congestion classes, throughput/goodput, and the headline
 link-layer effects.
 
@@ -14,7 +15,8 @@ Usage::
 
 from __future__ import annotations
 
-from repro.core import CongestionLevel, analyze_trace
+from repro.core import CongestionLevel
+from repro.pipeline import run_all
 from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 from repro.viz import line_chart, table
 
@@ -37,7 +39,7 @@ def main() -> None:
         f"({result.capture_ratio:.0%})"
     )
 
-    report = analyze_trace(result.trace, result.roster, name="quickstart")
+    report = run_all(result.trace, result.roster, name="quickstart")
 
     print()
     print(table([report.summary.as_row()], title="Capture summary (Table 1 style)"))

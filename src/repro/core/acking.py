@@ -17,7 +17,30 @@ import numpy as np
 
 from ..frames import FrameType, Trace
 
-__all__ = ["AckMatch", "match_acks"]
+__all__ = ["AckMatch", "ack_match_pairs", "match_acks"]
+
+
+def ack_match_pairs(
+    ftype_prev: np.ndarray,
+    ftype_next: np.ndarray,
+    src_prev: np.ndarray,
+    dst_next: np.ndarray,
+    channel_prev: np.ndarray,
+    channel_next: np.ndarray,
+) -> np.ndarray:
+    """The §6.4 rule on consecutive frame pairs, as a boolean array.
+
+    True where the *prev* frame is a DATA frame immediately followed by
+    its ACK (*next*): same channel, ACK receiver == DATA transmitter.
+    Single source of the rule for :func:`match_acks` and the streaming
+    pipeline's chunk-boundary matching.
+    """
+    return (
+        (ftype_prev == int(FrameType.DATA))
+        & (ftype_next == int(FrameType.ACK))
+        & (dst_next == src_prev)
+        & (channel_next == channel_prev)
+    )
 
 
 @dataclass(frozen=True)
@@ -57,11 +80,14 @@ def match_acks(trace: Trace) -> AckMatch:
         return AckMatch(acked, ack_index, ack_time)
 
     ftype = trace.ftype
-    is_data = ftype[:-1] == int(FrameType.DATA)
-    next_is_ack = ftype[1:] == int(FrameType.ACK)
-    addr_match = trace.dst[1:] == trace.src[:-1]
-    same_channel = trace.channel[1:] == trace.channel[:-1]
-    hit = is_data & next_is_ack & addr_match & same_channel
+    hit = ack_match_pairs(
+        ftype[:-1],
+        ftype[1:],
+        trace.src[:-1],
+        trace.dst[1:],
+        trace.channel[:-1],
+        trace.channel[1:],
+    )
 
     idx = np.nonzero(hit)[0]
     acked[idx] = True

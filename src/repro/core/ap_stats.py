@@ -19,6 +19,7 @@ from ..frames import FrameType, NodeRoster, Trace
 __all__ = [
     "ApActivity",
     "ap_frame_ranking",
+    "ranking_from_counts",
     "user_association_series",
     "DatasetSummary",
     "dataset_summary",
@@ -49,6 +50,17 @@ def ap_frame_ranking(trace: Trace, roster: NodeRoster) -> ApActivity:
         [int(np.count_nonzero((src == ap) | (dst == ap))) for ap in ap_ids],
         dtype=np.int64,
     )
+    return ranking_from_counts(ap_ids, counts)
+
+
+def ranking_from_counts(ap_ids: np.ndarray, counts: np.ndarray) -> ApActivity:
+    """Assemble the Fig-4a ranking from per-AP frame counts.
+
+    Shared with the streaming pipeline, which accumulates the counts
+    chunk by chunk instead of scanning the whole trace at once.
+    """
+    ap_ids = np.asarray(ap_ids, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
     order = np.argsort(counts, kind="stable")[::-1]
     table = ColumnTable(
         {

@@ -109,7 +109,15 @@ class CongestionClassifier:
         self, trace: Trace, timing: TimingParameters = DOT11B_TIMING
     ) -> "CongestionClassifier":
         """Estimate thresholds from ``trace``'s throughput knee."""
-        curves = throughput_vs_utilization(trace, timing)
+        return self.fit_curves(throughput_vs_utilization(trace, timing))
+
+    def fit_curves(self, curves: ThroughputSeries) -> "CongestionClassifier":
+        """Estimate thresholds from precomputed Figure-6 curves.
+
+        The streaming pipeline computes the throughput series in its
+        single pass and hands it here, so both entry points share one
+        knee-detection rule.
+        """
         self.curves = curves
         knee = find_knee(curves.throughput_mbps, smooth_window=self.smooth_window)
         if knee is not None and knee.is_significant:

@@ -24,9 +24,16 @@ from ..frames import FrameType, Trace
 from .acking import match_acks
 from .categories import Category
 from .timing import DOT11B_TIMING, TimingParameters
-from .utilization import utilization_series
+from .utilization import UtilizationSeries, utilization_series
 
-__all__ = ["DelaySeries", "acceptance_delays", "acceptance_delay_vs_utilization", "FIGURE15_CATEGORIES"]
+__all__ = [
+    "CHAIN_TIMEOUT_US",
+    "DelaySeries",
+    "acceptance_delays",
+    "acceptance_delay_vs_utilization",
+    "bin_deliveries",
+    "FIGURE15_CATEGORIES",
+]
 
 #: The four categories Figure 15 reports.
 FIGURE15_CATEGORIES = tuple(
@@ -60,7 +67,9 @@ class AcceptanceDelays:
 #: sniffer missed could inherit a stale first-attempt timestamp from a
 #: previous incarnation of the same key, minutes in the past.  Seven
 #: retries of an XL-1 frame with maximal backoff stay well under 1 s.
-_CHAIN_TIMEOUT_US = 1_000_000
+#: Shared with the streaming pipeline's chain reconstruction.
+CHAIN_TIMEOUT_US = 1_000_000
+_CHAIN_TIMEOUT_US = CHAIN_TIMEOUT_US  # backwards-compatible alias
 
 
 def acceptance_delays(trace: Trace) -> AcceptanceDelays:
@@ -164,6 +173,17 @@ def acceptance_delay_vs_utilization(
     trace = trace.sorted_by_time()
     util = utilization_series(trace, timing)
     deliveries = acceptance_delays(trace)
+    return bin_deliveries(deliveries, util, categories, min_count)
+
+
+def bin_deliveries(
+    deliveries: AcceptanceDelays,
+    util: "UtilizationSeries",
+    categories: tuple[Category, ...] = FIGURE15_CATEGORIES,
+    min_count: int = 1,
+) -> DelaySeries:
+    """Bin extracted deliveries by the utilization of their first-attempt
+    second — the Figure-15 transform, shared with the streaming pipeline."""
     if len(deliveries) == 0:
         empty = BinnedSeries(
             np.empty(0), np.empty(0), np.empty(0, dtype=np.int64)

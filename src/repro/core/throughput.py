@@ -24,10 +24,28 @@ from .utilization import UtilizationSeries, utilization_series
 
 __all__ = [
     "ThroughputSeries",
+    "control_frame_mask",
+    "frame_bits",
     "throughput_per_second",
     "goodput_per_second",
     "throughput_vs_utilization",
 ]
+
+
+def control_frame_mask(ftype: np.ndarray) -> np.ndarray:
+    """Frames whose bits always count toward goodput (§5.2).
+
+    Control and management frames are never retransmitted-in-vain data,
+    so the paper's goodput includes them unconditionally.  Shared by
+    :func:`goodput_per_second` and the streaming pipeline.
+    """
+    return (
+        (ftype == int(FrameType.ACK))
+        | (ftype == int(FrameType.RTS))
+        | (ftype == int(FrameType.CTS))
+        | (ftype == int(FrameType.BEACON))
+        | (ftype == int(FrameType.MGMT))
+    )
 
 
 @dataclass(frozen=True)
@@ -47,7 +65,7 @@ class ThroughputSeries:
         )
 
 
-def _frame_bits(trace: Trace) -> np.ndarray:
+def frame_bits(trace: Trace) -> np.ndarray:
     """On-air information bits per frame.
 
     Data/management frames carry ``8 * size`` payload bits; control
@@ -70,7 +88,7 @@ def throughput_per_second(
     n_seconds: int | None = None,
 ) -> np.ndarray:
     """Total transmitted bits per second (Mbps array)."""
-    bits = _frame_bits(trace)
+    bits = frame_bits(trace)
     per_second = sum_per_interval(
         trace, bits, interval_us=1_000_000, start_us=start_us, n_intervals=n_seconds
     )
@@ -83,17 +101,9 @@ def goodput_per_second(
     n_seconds: int | None = None,
 ) -> np.ndarray:
     """Bits of control frames plus acked data frames, per second (Mbps)."""
-    bits = _frame_bits(trace)
+    bits = frame_bits(trace)
     match = match_acks(trace)
-    ftype = trace.ftype
-    control = (
-        (ftype == int(FrameType.ACK))
-        | (ftype == int(FrameType.RTS))
-        | (ftype == int(FrameType.CTS))
-        | (ftype == int(FrameType.BEACON))
-        | (ftype == int(FrameType.MGMT))
-    )
-    good = control | match.acked
+    good = control_frame_mask(trace.ftype) | match.acked
     masked_bits = np.where(good, bits, 0.0)
     per_second = sum_per_interval(
         trace,

@@ -25,7 +25,12 @@ import numpy as np
 from ..analysis import ColumnTable
 from ..frames import FrameType, NodeRoster, Trace
 
-__all__ = ["UnrecordedEstimate", "estimate_unrecorded", "unrecorded_by_ap"]
+__all__ = [
+    "UnrecordedEstimate",
+    "estimate_unrecorded",
+    "unrecorded_by_ap",
+    "ap_table_from_counts",
+]
 
 
 @dataclass(frozen=True)
@@ -157,7 +162,23 @@ def unrecorded_by_ap(
                 | (estimate.missing_data_dst == ap)
             )
         )
+    return ap_table_from_counts(ap_ids, captured, missing, top_n)
 
+
+def ap_table_from_counts(
+    ap_ids: np.ndarray,
+    captured: np.ndarray,
+    missing: np.ndarray,
+    top_n: int = 15,
+) -> ColumnTable:
+    """Assemble the Fig-4c table from per-AP captured/missing counts.
+
+    Shared with the streaming pipeline, which accumulates both count
+    arrays incrementally instead of re-scanning the trace.
+    """
+    ap_ids = np.asarray(ap_ids, dtype=np.int64)
+    captured = np.asarray(captured, dtype=np.int64)
+    missing = np.asarray(missing, dtype=np.int64)
     order = np.argsort(captured, kind="stable")[::-1][:top_n]
     cap, mis = captured[order], missing[order]
     with np.errstate(invalid="ignore", divide="ignore"):

@@ -21,7 +21,14 @@ import numpy as np
 from .dot11 import FrameType, code_to_rate, rate_to_code
 from .sizes import size_class_array
 
-__all__ = ["FrameRow", "Trace", "NodeInfo", "NodeRoster"]
+__all__ = [
+    "FrameRow",
+    "Trace",
+    "NodeInfo",
+    "NodeRoster",
+    "TRACE_COLUMNS",
+    "TRACE_SCHEMA",
+]
 
 
 #: Column name -> numpy dtype for the trace storage.
@@ -39,6 +46,14 @@ _SCHEMA = (
 )
 
 _COLUMNS = tuple(name for name, _ in _SCHEMA)
+
+#: Public trace column names, in schema order (for bulk producers and
+#: serialisation layers that assemble column dicts).
+TRACE_COLUMNS = _COLUMNS
+
+#: Public (name, dtype) schema pairs — the single source for layers
+#: that materialise trace columns themselves (e.g. the pcap reader).
+TRACE_SCHEMA = _SCHEMA
 
 
 @dataclass(frozen=True)
@@ -315,6 +330,15 @@ class Trace:
         """Sub-trace of frames with ``start_us <= time_us < end_us``."""
         t = self.time_us
         return self.select((t >= start_us) & (t < end_us))
+
+    def slice_rows(self, lo: int, hi: int) -> "Trace":
+        """Zero-copy view of the row range ``[lo, hi)``.
+
+        Unlike :meth:`select`/:meth:`take` this never copies column
+        data — numpy basic slicing returns views — so the streaming
+        pipeline can chunk multi-million-frame traces for free.
+        """
+        return Trace({name: arr[lo:hi] for name, arr in self._cols.items()})
 
     @property
     def duration_us(self) -> int:

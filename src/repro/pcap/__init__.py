@@ -6,7 +6,13 @@ paper's tethereal-based pipeline did.
 """
 
 from .dot11_codec import DecodedFrame, decode_frame, encode_frame, mac_to_node, node_to_mac
-from .pcapio import LINKTYPE_RADIOTAP, PAPER_SNAPLEN, read_trace, write_trace
+from .pcapio import (
+    LINKTYPE_RADIOTAP,
+    PAPER_SNAPLEN,
+    read_trace,
+    read_trace_batches,
+    write_trace,
+)
 from .radiotap import CHANNEL_FREQ_MHZ, RadiotapHeader, channel_from_freq
 
 __all__ = [
@@ -21,5 +27,6 @@ __all__ = [
     "mac_to_node",
     "node_to_mac",
     "read_trace",
+    "read_trace_batches",
     "write_trace",
 ]

@@ -22,11 +22,17 @@ from typing import BinaryIO
 
 import numpy as np
 
-from ..frames import FrameType, Trace, rate_to_code
+from ..frames import TRACE_COLUMNS, TRACE_SCHEMA, FrameType, Trace, rate_to_code
 from .dot11_codec import decode_frame, encode_frame
 from .radiotap import RadiotapHeader
 
-__all__ = ["write_trace", "read_trace", "PAPER_SNAPLEN", "LINKTYPE_RADIOTAP"]
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "read_trace_batches",
+    "PAPER_SNAPLEN",
+    "LINKTYPE_RADIOTAP",
+]
 
 _MAGIC = 0xA1B2C3D4
 LINKTYPE_RADIOTAP = 127
@@ -89,78 +95,112 @@ def write_trace(
     return len(trace)
 
 
+class _RowBuffer:
+    """Decoded-record accumulator, flushed into Traces batch by batch.
+
+    Columns and dtypes come from the trace schema
+    (:data:`repro.frames.TRACE_SCHEMA`) so the pcap layer never
+    restates them.
+    """
+
+    def __init__(self) -> None:
+        self.cols: dict[str, list] = {name: [] for name, _ in TRACE_SCHEMA}
+
+    def __len__(self) -> int:
+        return len(self.cols["time_us"])
+
+    def flush(self) -> Trace:
+        trace = Trace(
+            {
+                name: np.array(self.cols[name], dtype=dtype)
+                for name, dtype in TRACE_SCHEMA
+            }
+        )
+        self.__init__()
+        return trace
+
+
+def read_trace_batches(
+    path: str | Path, batch_frames: int = 131_072
+):
+    """Incrementally read a radiotap pcap as bounded-size Traces.
+
+    Records are decoded straight off the (buffered) file handle and
+    yielded every ``batch_frames`` frames, so memory stays bounded no
+    matter how large the capture is — the streaming pipeline's pcap
+    source.  Frames are yielded in file order; captures written by
+    :func:`write_trace` are time-ordered.
+    """
+    if batch_frames <= 0:
+        raise ValueError("batch_frames must be positive")
+    path = Path(path)
+    with path.open("rb") as fp:
+        header = fp.read(24)
+        if len(header) < 24:
+            raise ValueError(f"{path}: not a pcap file (too short)")
+        magic, _vmaj, _vmin, _tz, _sig, _snaplen, linktype = struct.unpack(
+            "<IHHiIII", header
+        )
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: bad pcap magic {magic:#x}")
+        if linktype != LINKTYPE_RADIOTAP:
+            raise ValueError(
+                f"{path}: linktype {linktype}, expected radiotap "
+                f"({LINKTYPE_RADIOTAP})"
+            )
+
+        rows = _RowBuffer()
+        offset = 24
+        while True:
+            record = fp.read(16)
+            if not record:
+                break
+            if len(record) < 16:
+                raise ValueError(f"{path}: truncated record header at {offset}")
+            ts_sec, ts_usec, incl_len, orig_len = struct.unpack("<IIII", record)
+            offset += 16
+            packet = fp.read(incl_len)
+            if len(packet) < incl_len:
+                raise ValueError(f"{path}: truncated record body at {offset}")
+            offset += incl_len
+
+            radiotap, rt_len = RadiotapHeader.decode(packet)
+            frame = decode_frame(packet[rt_len:])
+            if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
+                # orig_len preserves the pre-snap size: radiotap + 24 + body.
+                size = max(0, orig_len - rt_len - 24) + 24
+            else:
+                size = {FrameType.ACK: 14, FrameType.CTS: 14, FrameType.RTS: 20}[
+                    frame.ftype
+                ]
+
+            rows.cols["time_us"].append(ts_sec * 1_000_000 + ts_usec)
+            rows.cols["ftype"].append(int(frame.ftype))
+            rows.cols["rate_code"].append(rate_to_code(radiotap.rate_mbps))
+            rows.cols["size"].append(size)
+            rows.cols["src"].append(frame.src)
+            rows.cols["dst"].append(frame.dst)
+            rows.cols["retry"].append(frame.retry)
+            rows.cols["channel"].append(radiotap.channel)
+            rows.cols["snr_db"].append(radiotap.snr_db)
+            rows.cols["seq"].append(frame.seq)
+
+            if len(rows) >= batch_frames:
+                yield rows.flush()
+        if len(rows):
+            yield rows.flush()
+
+
 def read_trace(path: str | Path) -> Trace:
     """Read a radiotap pcap written by :func:`write_trace` into a Trace."""
-    path = Path(path)
-    data = path.read_bytes()
-    if len(data) < 24:
-        raise ValueError(f"{path}: not a pcap file (too short)")
-    magic, _vmaj, _vmin, _tz, _sig, _snaplen, linktype = struct.unpack_from(
-        "<IHHiIII", data, 0
-    )
-    if magic != _MAGIC:
-        raise ValueError(f"{path}: bad pcap magic {magic:#x}")
-    if linktype != LINKTYPE_RADIOTAP:
-        raise ValueError(
-            f"{path}: linktype {linktype}, expected radiotap ({LINKTYPE_RADIOTAP})"
-        )
-
-    time_l: list[int] = []
-    ftype_l: list[int] = []
-    rate_l: list[int] = []
-    size_l: list[int] = []
-    src_l: list[int] = []
-    dst_l: list[int] = []
-    retry_l: list[bool] = []
-    channel_l: list[int] = []
-    snr_l: list[float] = []
-    seq_l: list[int] = []
-
-    offset = 24
-    while offset < len(data):
-        if offset + 16 > len(data):
-            raise ValueError(f"{path}: truncated record header at {offset}")
-        ts_sec, ts_usec, incl_len, orig_len = struct.unpack_from(
-            "<IIII", data, offset
-        )
-        offset += 16
-        if offset + incl_len > len(data):
-            raise ValueError(f"{path}: truncated record body at {offset}")
-        packet = data[offset : offset + incl_len]
-        offset += incl_len
-
-        radiotap, rt_len = RadiotapHeader.decode(packet)
-        frame = decode_frame(packet[rt_len:])
-        if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
-            # orig_len preserves the pre-snap size: radiotap + 24 + body.
-            size = max(0, orig_len - rt_len - 24) + 24
-        else:
-            size = {FrameType.ACK: 14, FrameType.CTS: 14, FrameType.RTS: 20}[
-                frame.ftype
-            ]
-
-        time_l.append(ts_sec * 1_000_000 + ts_usec)
-        ftype_l.append(int(frame.ftype))
-        rate_l.append(rate_to_code(radiotap.rate_mbps))
-        size_l.append(size)
-        src_l.append(frame.src)
-        dst_l.append(frame.dst)
-        retry_l.append(frame.retry)
-        channel_l.append(radiotap.channel)
-        snr_l.append(radiotap.snr_db)
-        seq_l.append(frame.seq)
-
+    batches = list(read_trace_batches(path))
+    if not batches:
+        return Trace.empty()
+    if len(batches) == 1:
+        return batches[0]
     return Trace(
         {
-            "time_us": np.array(time_l, dtype=np.int64),
-            "ftype": np.array(ftype_l, dtype=np.uint8),
-            "rate_code": np.array(rate_l, dtype=np.uint8),
-            "size": np.array(size_l, dtype=np.uint32),
-            "src": np.array(src_l, dtype=np.uint16),
-            "dst": np.array(dst_l, dtype=np.uint16),
-            "retry": np.array(retry_l, dtype=np.bool_),
-            "channel": np.array(channel_l, dtype=np.uint8),
-            "snr_db": np.array(snr_l, dtype=np.float32),
-            "seq": np.array(seq_l, dtype=np.uint16),
+            name: np.concatenate([b.column(name) for b in batches])
+            for name in TRACE_COLUMNS
         }
     )

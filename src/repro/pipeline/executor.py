@@ -1,0 +1,370 @@
+"""Single-pass streaming executor and the one-call facades.
+
+``analyze_trace`` computes every figure of the paper, but each core
+analysis re-walks the whole trace — sorting it, re-deriving per-frame
+busy time, re-matching ACKs — so a full report costs ~15 passes.  The
+executor walks the stream **once**: per chunk it derives the shared
+per-frame state (second index, channel busy-time, DATA-ACK matching),
+accumulates total busy time, and fans the chunk out to every consumer.
+Finalization then assembles exactly the objects the core functions
+return.
+
+    from repro.pipeline import run_all
+    report = run_all(trace, roster)          # == analyze_trace(trace, roster)
+
+Multi-trace batches (one report per capture session, like the paper's
+day/plenary splits) run in parallel via :func:`run_batch`.
+
+>>> from repro.frames import FrameRow, FrameType, Trace
+>>> rows = [
+...     FrameRow(time_us=t * 250_000, ftype=FrameType.DATA,
+...              rate_mbps=11.0, size=1000, src=10, dst=1)
+...     for t in range(8)
+... ]
+>>> report = run_all(Trace.from_rows(rows), name="doc")
+>>> report.summary.n_frames
+8
+>>> len(report.utilization)
+2
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.report import CongestionReport
+from ..core.acking import ack_match_pairs
+from ..core.busytime import trace_cbt_us
+from ..core.timing import DOT11B_TIMING, TimingParameters
+from ..core.utilization import UtilizationSeries
+from ..frames import NodeRoster, Trace
+from .accumulate import SecondAccumulator
+from .consumers import Consumer  # noqa: F401  (registers default consumers)
+from .registry import DEFAULT_CONSUMERS, ROSTER_CONSUMERS, create_consumers
+from .stream import (
+    DEFAULT_CHUNK_FRAMES,
+    Chunk,
+    StreamContext,
+    UnsortedStreamError,
+    as_stream,
+    trace_chunks,
+)
+
+__all__ = ["PipelineExecutor", "run_all", "run_consumers", "run_batch"]
+
+
+def _segments_with_lookahead(segments: Iterable[Trace]):
+    """Yield ``(segment, next_segment_or_None)`` over nonempty segments."""
+    current: Trace | None = None
+    for segment in segments:
+        if len(segment) == 0:
+            continue
+        if current is not None:
+            yield current, segment
+        current = segment
+    if current is not None:
+        yield current, None
+
+
+def _match_chunk(trace: Trace, next_segment: Trace | None):
+    """DATA-ACK matching for one chunk, looking one frame ahead.
+
+    Applies :func:`repro.core.acking.ack_match_pairs` — the same rule
+    :func:`repro.core.match_acks` uses — over the concatenated stream:
+    the chunk's last frame is judged against the first frame of the
+    next segment.
+    """
+    n = len(trace)
+    acked = np.zeros(n, dtype=np.bool_)
+    ack_time = np.full(n, -1, dtype=np.int64)
+    ftype = trace.ftype
+    if n > 1:
+        hit = ack_match_pairs(
+            ftype[:-1],
+            ftype[1:],
+            trace.src[:-1],
+            trace.dst[1:],
+            trace.channel[:-1],
+            trace.channel[1:],
+        )
+        idx = np.nonzero(hit)[0]
+        acked[idx] = True
+        ack_time[idx] = trace.time_us[idx + 1]
+    if next_segment is not None and bool(
+        ack_match_pairs(
+            ftype[-1:],
+            next_segment.ftype[:1],
+            trace.src[-1:],
+            next_segment.dst[:1],
+            trace.channel[-1:],
+            next_segment.channel[:1],
+        )[0]
+    ):
+        acked[-1] = True
+        ack_time[-1] = int(next_segment.time_us[0])
+    return acked, ack_time
+
+
+class PipelineExecutor:
+    """Drive a set of consumers over a stream in one pass.
+
+    ``consumers`` is an ordered list of :class:`Consumer` instances
+    with unique names; any ``requires`` must name another consumer in
+    the set (finalization runs in dependency order).
+    """
+
+    def __init__(
+        self,
+        consumers: Sequence[Consumer],
+        *,
+        name: str = "trace",
+        timing: TimingParameters = DOT11B_TIMING,
+        roster: NodeRoster | None = None,
+        min_count: int = 1,
+        chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+    ) -> None:
+        names = [c.name for c in consumers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate consumer names: {names}")
+        for consumer in consumers:
+            for dep in consumer.requires:
+                if dep not in names:
+                    raise ValueError(
+                        f"consumer {consumer.name!r} requires {dep!r}, "
+                        "which is not part of this run"
+                    )
+        self.consumers = list(consumers)
+        self.chunk_frames = chunk_frames
+        self._ctx_args = dict(
+            name=name, timing=timing, roster=roster, min_count=min_count
+        )
+        self.ctx = StreamContext(**self._ctx_args)
+
+    def run(self, source) -> dict[str, object]:
+        """Stream ``source`` through every consumer; return results by name.
+
+        ``source`` may be a :class:`~repro.frames.Trace`, a pcap path,
+        or any iterable of time-sorted trace segments.  An executor may
+        be reused: each call starts from a fresh context and fresh
+        consumer state.  A pcap whose disorder exceeds the streaming
+        reader's per-batch sort falls back to a load-and-sort pass.
+        """
+        try:
+            return self._run(source)
+        except UnsortedStreamError:
+            if not isinstance(source, (str, Path)):
+                raise
+            from ..pcap import read_trace
+
+            return self._run(
+                trace_chunks(read_trace(source), self.chunk_frames)
+            )
+
+    def _run(self, source) -> dict[str, object]:
+        ctx = self.ctx = StreamContext(**self._ctx_args)
+        for consumer in self.consumers:
+            consumer.start(ctx)
+
+        busy = SecondAccumulator()
+        max_second = -1
+        last_time = None
+        start_row = 0
+        index = 0
+        need_ack = any(c.needs_ack_match for c in self.consumers)
+        need_cbt = any(c.needs_cbt for c in self.consumers)
+        segments = as_stream(source, self.chunk_frames)
+        for segment, next_segment in _segments_with_lookahead(segments):
+            if not segment.is_time_sorted():
+                raise ValueError("stream segments must be time-sorted")
+            first = int(segment.time_us[0])
+            if last_time is not None and first < last_time:
+                raise ValueError(
+                    "stream segments must be non-overlapping and ordered: "
+                    f"segment starts at {first} before previous end {last_time}"
+                )
+            if ctx.start_us is None:
+                ctx.start_us = first
+            second = ((segment.time_us - ctx.start_us) // 1_000_000).astype(
+                np.int64
+            )
+            if need_cbt:
+                cbt = trace_cbt_us(segment, ctx.timing)
+                busy.add(second, weights=cbt)
+            else:  # no consumer reads busy time or utilization
+                cbt = None
+            if need_ack:
+                acked, ack_time = _match_chunk(segment, next_segment)
+            else:  # no consumer in this run reads ACK-match state
+                acked = ack_time = None
+            chunk = Chunk(
+                trace=segment,
+                index=index,
+                start_row=start_row,
+                second=second,
+                cbt_us=cbt,
+                acked=acked,
+                ack_time_us=ack_time,
+            )
+            for consumer in self.consumers:
+                consumer.consume(chunk)
+            max_second = int(second[-1])
+            last_time = int(segment.time_us[-1])
+            start_row += len(segment)
+            index += 1
+
+        ctx.n_seconds = max_second + 1
+        if need_cbt:
+            ctx.utilization = UtilizationSeries(
+                start_us=int(ctx.start_us or 0),
+                percent=busy.totals(ctx.n_seconds) / 1_000_000.0 * 100.0,
+            )
+        return self._finalize()
+
+    def _finalize(self) -> dict[str, object]:
+        results: dict[str, object] = {}
+        pending = list(self.consumers)
+        while pending:
+            progressed = False
+            for consumer in list(pending):
+                if all(dep in results for dep in consumer.requires):
+                    results[consumer.name] = consumer.finalize(self.ctx, results)
+                    pending.remove(consumer)
+                    progressed = True
+            if not progressed:
+                cycle = [c.name for c in pending]
+                raise ValueError(f"consumer dependency cycle: {cycle}")
+        return results
+
+
+def run_consumers(
+    source,
+    names: Sequence[str],
+    *,
+    name: str = "trace",
+    timing: TimingParameters = DOT11B_TIMING,
+    roster: NodeRoster | None = None,
+    min_count: int = 1,
+    chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+) -> dict[str, object]:
+    """One-pass run of the named registered consumers over ``source``."""
+    executor = PipelineExecutor(
+        create_consumers(names),
+        name=name,
+        timing=timing,
+        roster=roster,
+        min_count=min_count,
+        chunk_frames=chunk_frames,
+    )
+    return executor.run(source)
+
+
+def run_all(
+    source,
+    roster: NodeRoster | None = None,
+    name: str = "trace",
+    timing: TimingParameters = DOT11B_TIMING,
+    min_count: int = 1,
+    chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+) -> CongestionReport:
+    """Single-pass equivalent of :func:`repro.core.analyze_trace`.
+
+    Walks ``source`` once and returns the identical
+    :class:`~repro.core.report.CongestionReport` — same numbers, one
+    trace traversal instead of ~15.
+    """
+    names = DEFAULT_CONSUMERS + (ROSTER_CONSUMERS if roster is not None else ())
+    results = run_consumers(
+        source,
+        names,
+        name=name,
+        timing=timing,
+        roster=roster,
+        min_count=min_count,
+        chunk_frames=chunk_frames,
+    )
+    congestion = results["congestion"]
+    return CongestionReport(
+        name=name,
+        summary=results["summary"],
+        utilization=results["utilization"],
+        thresholds=congestion.thresholds,
+        level_occupancy=congestion.level_occupancy,
+        throughput=congestion.classifier.curves,
+        rts_cts=results["rts_cts"],
+        busytime_share=results["busytime_share"],
+        bytes_per_rate=results["bytes_per_rate"],
+        transmissions=results["transmissions"],
+        reception=results["reception"],
+        delays=results["delays"],
+        unrecorded=results["unrecorded"],
+        ap_activity=results.get("ap_activity"),
+        unrecorded_per_ap=results.get("unrecorded_per_ap"),
+        user_series=results.get("user_series"),
+    )
+
+
+def _run_batch_item(item) -> tuple[str, CongestionReport]:
+    """Module-level batch worker (picklable for process pools)."""
+    trace_name, source, kwargs = item
+    return trace_name, run_all(source, name=trace_name, **kwargs)
+
+
+def run_batch(
+    traces,
+    roster: NodeRoster | None = None,
+    *,
+    max_workers: int | None = None,
+    mode: str | None = None,
+    timing: TimingParameters = DOT11B_TIMING,
+    min_count: int = 1,
+    chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+) -> dict[str, CongestionReport]:
+    """Analyze many captures in parallel, one single-pass run each.
+
+    ``traces`` may be a mapping ``{name: source}``, a sequence of
+    ``(name, source)`` pairs, or a bare sequence of sources (named
+    ``trace-0`` .. ``trace-N``).  Sources are anything :func:`run_all`
+    accepts.  Results preserve input order.
+
+    ``mode`` picks the worker pool: ``"process"`` (true parallelism —
+    pcap decode is GIL-bound Python) or ``"thread"`` (no pickling of
+    in-memory traces).  Default: processes when every source is a
+    path, threads otherwise.
+    """
+    if isinstance(traces, Mapping):
+        items = list(traces.items())
+    else:
+        items = []
+        for i, entry in enumerate(traces):
+            if isinstance(entry, tuple) and len(entry) == 2:
+                items.append(entry)
+            else:
+                items.append((f"trace-{i}", entry))
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(
+            f"duplicate batch names {dupes}: results are keyed by name"
+        )
+    kwargs = dict(
+        roster=roster,
+        timing=timing,
+        min_count=min_count,
+        chunk_frames=chunk_frames,
+    )
+    jobs = [(name, source, kwargs) for name, source in items]
+
+    if mode is not None and mode not in ("process", "thread"):
+        raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")
+    if len(jobs) <= 1 or max_workers == 1:
+        return dict(map(_run_batch_item, jobs))
+    if mode is None:
+        all_paths = all(isinstance(s, (str, Path)) for _, s in items)
+        mode = "process" if all_paths else "thread"
+    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+    with pool_cls(max_workers=max_workers) as pool:
+        return dict(pool.map(_run_batch_item, jobs))

@@ -1,0 +1,95 @@
+"""Consumer registry: drop-in metrics without touching the executor.
+
+A consumer registers a factory under a unique name; the executor and
+facades build consumer sets by name.  New analyses plug into the
+single-pass run by registering themselves — nothing in the executor
+changes:
+
+    from repro.pipeline import Consumer, register_consumer
+
+    @register_consumer("my_metric")
+    class MyMetric(Consumer):
+        name = "my_metric"
+        ...
+
+``requires`` on a consumer names other consumers whose finalized
+results it needs; the executor finalizes in dependency order and passes
+them in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = [
+    "register_consumer",
+    "consumer_factory",
+    "create_consumers",
+    "available_consumers",
+    "DEFAULT_CONSUMERS",
+    "ROSTER_CONSUMERS",
+]
+
+_FACTORIES: dict[str, Callable[[], "object"]] = {}
+
+#: Names run by :func:`repro.pipeline.run_all` on every trace, in
+#: report order.
+DEFAULT_CONSUMERS = (
+    "summary",
+    "utilization",
+    "throughput",
+    "congestion",
+    "rts_cts",
+    "busytime_share",
+    "bytes_per_rate",
+    "transmissions",
+    "reception",
+    "delays",
+    "unrecorded",
+)
+
+#: Names additionally run when a :class:`~repro.frames.NodeRoster` is
+#: supplied (the paper's AP-aware Figure 4 analyses).
+ROSTER_CONSUMERS = (
+    "ap_activity",
+    "unrecorded_per_ap",
+    "user_series",
+)
+
+
+def register_consumer(name: str, factory: Callable[[], object] | None = None):
+    """Register a consumer factory (usable as a decorator).
+
+    ``factory`` is any zero-argument callable returning a consumer —
+    typically the consumer class itself.
+    """
+
+    def _register(fac: Callable[[], object]):
+        if name in _FACTORIES:
+            raise ValueError(f"consumer {name!r} is already registered")
+        _FACTORIES[name] = fac
+        return fac
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def consumer_factory(name: str) -> Callable[[], object]:
+    """Look up one factory by name (KeyError with the known names)."""
+    try:
+        return _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown consumer {name!r}; registered: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def create_consumers(names: Iterable[str]) -> list:
+    """Instantiate a fresh consumer per name, preserving order."""
+    return [consumer_factory(name)() for name in names]
+
+
+def available_consumers() -> tuple[str, ...]:
+    """All registered consumer names, sorted."""
+    return tuple(sorted(_FACTORIES))

@@ -4,12 +4,14 @@ Usage::
 
     python -m repro.tools simulate out.pcap --stations 10 --duration 20
     python -m repro.tools analyze capture.pcap
+    python -m repro.tools analyze day.pcap plenary.pcap --workers 2
     python -m repro.tools info capture.pcap
 
 ``simulate`` runs a scenario and writes the sniffer capture as a real
-radiotap pcap; ``analyze`` runs the full paper pipeline on a pcap and
-prints the rendered congestion report; ``info`` prints the Table-1
-style summary only.
+radiotap pcap; ``analyze`` streams one or more pcaps through the
+single-pass :mod:`repro.pipeline` and prints the rendered congestion
+report(s) — multiple captures are analyzed in parallel; ``info``
+prints the Table-1 style summary only.
 """
 
 from __future__ import annotations
@@ -17,9 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .core import analyze_trace, dataset_summary
+from .core import dataset_summary
 from .core.render import render_report
 from .pcap import read_trace, write_trace
+from .pipeline import DEFAULT_CHUNK_FRAMES, run_batch
 from .sim import ConstantRate, ScenarioConfig, run_scenario
 from .viz import table
 
@@ -49,9 +52,26 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--rtscts-fraction", type=float, default=0.0)
     simulate.add_argument("--obstructed-fraction", type=float, default=0.25)
 
-    analyze = sub.add_parser("analyze", help="full congestion report from a pcap")
-    analyze.add_argument("capture", help="input .pcap path")
-    analyze.add_argument("--name", default=None, help="report title")
+    analyze = sub.add_parser(
+        "analyze",
+        help="full congestion report from one or more pcaps (single-pass pipeline)",
+    )
+    analyze.add_argument("captures", nargs="+", help="input .pcap path(s)")
+    analyze.add_argument(
+        "--name", default=None, help="report title (single capture only)"
+    )
+    analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel analyses for multi-capture batches (default: pool size)",
+    )
+    analyze.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=DEFAULT_CHUNK_FRAMES,
+        help="frames per streaming chunk",
+    )
 
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
@@ -82,13 +102,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = read_trace(args.capture)
-    if len(trace) == 0:
-        print(f"{args.capture}: empty capture", file=sys.stderr)
-        return 1
-    report = analyze_trace(trace, name=args.name or args.capture)
-    print(render_report(report))
-    return 0
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_frames < 1:
+        print("--chunk-frames must be >= 1", file=sys.stderr)
+        return 2
+    # Hand paths (not traces) to the batch: each worker streams its pcap
+    # from disk in bounded chunks, so decode parallelises with --workers
+    # and memory stays flat however many captures are named.
+    sources: list[tuple[str, str]] = []
+    used: set[str] = set()
+    for path in args.captures:
+        base = args.name or path if len(args.captures) == 1 else path
+        # run_batch keys results by name, so repeated paths need
+        # distinct titles; probe until the suffixed name is free too.
+        name, suffix = base, 2
+        while name in used:
+            name = f"{base}#{suffix}"
+            suffix += 1
+        used.add(name)
+        sources.append((name, path))
+    reports = run_batch(
+        sources, max_workers=args.workers, chunk_frames=args.chunk_frames
+    )
+    printed = 0
+    empty: list[str] = []
+    for (_, path), report in zip(sources, reports.values()):
+        if report.summary.n_frames == 0:
+            empty.append(path)
+            continue
+        if printed:
+            print()
+        print(render_report(report))
+        printed += 1
+    for path in empty:
+        print(f"{path}: empty capture", file=sys.stderr)
+    return 1 if empty else 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

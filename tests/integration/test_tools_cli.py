@@ -69,6 +69,38 @@ class TestCli:
         assert rc == 1
         assert "empty capture" in capsys.readouterr().err
 
+    def test_analyze_mixed_empty_still_prints_nonempty(self, tmp_path, capsys):
+        """One empty capture must not swallow the other reports."""
+        from repro.frames import Trace
+        from repro.pcap import write_trace
+
+        good = tmp_path / "good.pcap"
+        rc = main(
+            [
+                "simulate", str(good),
+                "--stations", "3", "--duration", "3",
+                "--uplink-pps", "5", "--downlink-pps", "8",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        empty = tmp_path / "empty.pcap"
+        write_trace(Trace.empty(), empty)
+
+        rc = main(["analyze", str(good), str(empty)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "Congestion classes" in captured.out  # good report printed
+        assert "empty capture" in captured.err
+
+    def test_analyze_bad_worker_and_chunk_args(self, tmp_path, capsys):
+        rc = main(["analyze", "whatever.pcap", "--workers", "0"])
+        assert rc == 2
+        assert "--workers" in capsys.readouterr().err
+        rc = main(["analyze", "whatever.pcap", "--chunk-frames", "0"])
+        assert rc == 2
+        assert "--chunk-frames" in capsys.readouterr().err
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

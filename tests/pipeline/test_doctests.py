@@ -1,0 +1,43 @@
+"""Doctest pass over the pipeline's docstrings.
+
+The examples in ``repro.pipeline`` module docstrings are part of the
+documentation contract (README and ARCHITECTURE link to them); this
+keeps them executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro.pipeline.accumulate
+import repro.pipeline.executor
+import repro.pipeline.registry
+import repro.pipeline.stream
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.pipeline.accumulate,
+        repro.pipeline.executor,
+        repro.pipeline.registry,
+        repro.pipeline.stream,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+
+
+def test_doctests_exist_somewhere():
+    """At least the worked examples must stay in the docstrings."""
+    total = sum(
+        doctest.testmod(m, verbose=False).attempted
+        for m in (
+            repro.pipeline.accumulate,
+            repro.pipeline.executor,
+            repro.pipeline.stream,
+        )
+    )
+    assert total >= 3
