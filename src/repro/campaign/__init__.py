@@ -1,0 +1,48 @@
+"""Campaign subsystem: parameter-grid sweeps across a process pool.
+
+The paper's results are *comparisons* — conditions against conditions.
+This package runs those comparisons at scale: a
+:class:`~repro.campaign.grid.ParameterGrid` expands scenario × axes ×
+seeds into cells, :func:`~repro.campaign.runner.run_campaign` executes
+the cells across worker processes (each one streaming its live
+simulated capture straight through the single-pass analysis pipeline,
+bounded memory end to end), and :mod:`repro.campaign.summary`
+aggregates the per-cell congestion findings into campaign-level tables,
+delivery-vs-offered-load curves and utilization-knee estimates.
+
+    from repro.campaign import ParameterGrid, run_campaign, render_campaign
+
+    grid = ParameterGrid(
+        "ramp", axes={"n_stations": [10, 20, 40, 60]}, seeds=2
+    )
+    result = run_campaign(grid, workers=4)
+    print(render_campaign(result))
+
+CLI equivalent: ``python -m repro.tools campaign --scenario ramp
+--vary n_stations=10,20,40,60 --seeds 2 --workers 4``.
+"""
+
+from .grid import CampaignCell, ParameterGrid
+from .runner import CampaignResult, CellResult, run_campaign
+from .summary import (
+    campaign_table,
+    delivery_curve,
+    group_over_seeds,
+    load_knee,
+    render_campaign,
+    utilization_knee,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CellResult",
+    "ParameterGrid",
+    "campaign_table",
+    "delivery_curve",
+    "group_over_seeds",
+    "load_knee",
+    "render_campaign",
+    "run_campaign",
+    "utilization_knee",
+]

@@ -1,0 +1,98 @@
+"""Parameter grids: the cells a campaign sweeps.
+
+A campaign is a cartesian product — scenario × parameter axes × seeds —
+expanded into :class:`CampaignCell` records.  Cells are plain picklable
+data (scenario *name* plus keyword parameters), so a process pool can
+rebuild and run each one in a worker via the scenario library.
+
+>>> grid = ParameterGrid("ramp", axes={"n_stations": [10, 20]}, seeds=2)
+>>> len(grid)
+4
+>>> [c.name for c in grid.cells()][:2]
+['ramp/n_stations=10/seed=0', 'ramp/n_stations=10/seed=1']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Mapping, Sequence
+
+__all__ = ["CampaignCell", "ParameterGrid"]
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One unit of campaign work: a named scenario, parameterised."""
+
+    scenario: str
+    params: tuple[tuple[str, object], ...] = ()
+    seed: int | None = None
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable cell id, e.g. ``ramp/n_stations=20/seed=1``."""
+        parts = [self.scenario]
+        parts += [f"{key}={value}" for key, value in self.params]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        return "/".join(parts)
+
+    @property
+    def kwargs(self) -> dict[str, object]:
+        """Keyword arguments for ``repro.sim.build_scenario``."""
+        kwargs = dict(self.params)
+        if self.seed is not None:
+            kwargs["seed"] = self.seed
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Cartesian sweep specification over one library scenario.
+
+    ``axes`` maps parameter names (scenario factory arguments or
+    :class:`~repro.sim.scenarios.ScenarioConfig` fields) to the values
+    to sweep; ``seeds`` is either a count (seeds ``0..n-1``) or an
+    explicit sequence of seed values.  ``fixed`` parameters apply to
+    every cell without multiplying the grid.
+    """
+
+    scenario: str
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+    seeds: int | Sequence[int] = 1
+    fixed: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, values in self.axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {key!r} has no values")
+            if key in self.fixed:
+                raise ValueError(f"{key!r} is both an axis and fixed")
+        if isinstance(self.seeds, int) and self.seeds < 1:
+            raise ValueError("need at least one seed")
+
+    @property
+    def seed_values(self) -> tuple[int, ...]:
+        if isinstance(self.seeds, int):
+            return tuple(range(self.seeds))
+        return tuple(int(s) for s in self.seeds)
+
+    def __len__(self) -> int:
+        n = len(self.seed_values)
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def cells(self) -> list[CampaignCell]:
+        """Expand the grid, axes varying slowest-first, seeds innermost."""
+        keys = list(self.axes)
+        fixed = tuple(sorted(self.fixed.items()))
+        out: list[CampaignCell] = []
+        for combo in product(*(self.axes[key] for key in keys)):
+            params = fixed + tuple(zip(keys, combo))
+            for seed in self.seed_values:
+                out.append(
+                    CampaignCell(scenario=self.scenario, params=params, seed=seed)
+                )
+        return out

@@ -1,0 +1,203 @@
+"""Parallel campaign execution: grid cells → process pool → reports.
+
+Each cell builds its scenario from the library, *streams* the live
+sniffer capture straight into the single-pass analysis pipeline
+(:func:`repro.pipeline.run_all`) and keeps only the per-cell findings —
+so a campaign's memory footprint is one drain window per worker, not
+one trace per cell, and wall-clock scales with the worker count
+(``benchmarks/bench_campaign.py`` measures the scaling).
+
+    from repro.campaign import ParameterGrid, run_campaign
+
+    grid = ParameterGrid("ramp", axes={"n_stations": [10, 20, 40]}, seeds=2)
+    result = run_campaign(grid, workers=4)
+    print(result.cells[0].delivery_ratio)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .grid import CampaignCell, ParameterGrid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.report import CongestionReport
+
+__all__ = ["CellResult", "CampaignResult", "run_campaign"]
+
+
+#: Streaming defaults for campaign cells: small enough that worker
+#: memory stays flat, large enough that numpy consumers amortise.
+CELL_CHUNK_FRAMES = 65_536
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    """0.0 instead of ZeroDivisionError for degenerate (empty) cells."""
+    return numerator / denominator if denominator else 0.0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The findings of one campaign cell, aggregated and picklable.
+
+    Ratios are guarded: degenerate cells (zero frames captured or
+    transmitted) report 0.0 rather than raising.
+    """
+
+    cell: CampaignCell
+    n_frames: int                      # frames captured and analyzed
+    frames_transmitted: int            # simulator ground-truth count
+    offered_packets: int               # MSDUs offered by all sources
+    duration_s: float
+    delivery_ratio: float              # MAC DATA successes / attempts
+    capture_ratio: float               # captured / transmitted
+    mode_utilization: float            # % — the paper's headline mode
+    peak_throughput_mbps: float
+    peak_throughput_utilization: float  # % — the Fig 6 knee position
+    high_congestion_fraction: float
+    unrecorded_percent: float
+    elapsed_s: float
+    report: "CongestionReport | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.cell.name
+
+    @property
+    def offered_pps(self) -> float:
+        """Offered load normalised per second of simulated time."""
+        return _safe_ratio(self.offered_packets, self.duration_s)
+
+    def as_row(self) -> dict[str, object]:
+        """One summary-table row."""
+        return {
+            "cell": self.name,
+            "frames": self.n_frames,
+            "offered_pps": round(self.offered_pps, 1),
+            "delivery": round(self.delivery_ratio, 3),
+            "mode_util_%": round(self.mode_utilization, 1),
+            "peak_mbps": round(self.peak_throughput_mbps, 3),
+            "knee_util_%": round(self.peak_throughput_utilization, 1),
+            "high_cong": round(self.high_congestion_fraction, 3),
+            "capture_%": round(100.0 * self.capture_ratio, 1),
+            "wall_s": round(self.elapsed_s, 2),
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign produced, input order preserved."""
+
+    cells: list[CellResult]
+    workers: int
+    elapsed_s: float
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def by_name(self) -> dict[str, CellResult]:
+        return {cell.name: cell for cell in self.cells}
+
+    def scenarios(self) -> list[str]:
+        """Distinct scenario names, first-seen order."""
+        seen: dict[str, None] = {}
+        for cell in self.cells:
+            seen.setdefault(cell.cell.scenario, None)
+        return list(seen)
+
+
+def _run_cell(job) -> CellResult:
+    """Module-level cell worker (picklable for process pools)."""
+    cell, options = job
+    from ..pipeline import run_all
+    from ..sim import build_scenario
+
+    built = build_scenario(cell.scenario, **cell.kwargs)
+    roster = built.roster
+    start = time.perf_counter()
+    report = run_all(
+        built.stream(
+            chunk_frames=options["chunk_frames"],
+            window_s=options["window_s"],
+        ),
+        roster=roster,
+        name=cell.name,
+    )
+    elapsed = time.perf_counter() - start
+    if report.summary.n_frames:
+        headline = report.headline()
+    else:  # degenerate cell: nothing captured, no curves to summarise
+        headline = {}
+    return CellResult(
+        cell=cell,
+        n_frames=report.summary.n_frames,
+        frames_transmitted=built.frames_transmitted,
+        offered_packets=built.offered_packets,
+        duration_s=built.config.duration_s,
+        delivery_ratio=built.delivery_ratio,
+        capture_ratio=built.capture_ratio,
+        mode_utilization=float(headline.get("mode_utilization", 0.0)),
+        peak_throughput_mbps=float(headline.get("throughput_peak_mbps", 0.0)),
+        peak_throughput_utilization=float(
+            headline.get("throughput_peak_utilization", 0.0)
+        ),
+        high_congestion_fraction=float(
+            headline.get("high_congestion_fraction", 0.0)
+        ),
+        unrecorded_percent=float(headline.get("unrecorded_percent", 0.0)),
+        elapsed_s=elapsed,
+        report=report if options["keep_reports"] else None,
+    )
+
+
+def run_campaign(
+    grid: ParameterGrid | Sequence[CampaignCell],
+    *,
+    workers: int | None = None,
+    chunk_frames: int = CELL_CHUNK_FRAMES,
+    window_s: float = 1.0,
+    keep_reports: bool = False,
+) -> CampaignResult:
+    """Run every cell of ``grid`` and collect per-cell findings.
+
+    ``workers`` > 1 fans cells across a process pool (simulation is
+    GIL-bound Python, so processes give true parallelism); ``None``
+    uses the pool default, 1 runs serially in-process.  Results are
+    deterministic and identical for any worker count — cells carry
+    their own seeds.  ``keep_reports=True`` attaches each cell's full
+    :class:`~repro.core.report.CongestionReport` (heavier pickles;
+    leave off for wide sweeps).
+    """
+    cells = grid.cells() if isinstance(grid, ParameterGrid) else list(grid)
+    if not cells:
+        raise ValueError("campaign has no cells")
+    names = [cell.name for cell in cells]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate campaign cells: {dupes}")
+    options = {
+        "chunk_frames": chunk_frames,
+        "window_s": window_s,
+        "keep_reports": keep_reports,
+    }
+    jobs = [(cell, options) for cell in cells]
+    start = time.perf_counter()
+    if len(jobs) <= 1 or workers == 1:
+        results = [_run_cell(job) for job in jobs]
+        pool_size = 1
+    else:
+        pool_size = workers if workers is not None else (os.cpu_count() or 1)
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            results = list(pool.map(_run_cell, jobs))
+    return CampaignResult(
+        cells=results,
+        workers=pool_size,
+        elapsed_s=time.perf_counter() - start,
+    )

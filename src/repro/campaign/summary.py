@@ -1,0 +1,131 @@
+"""Campaign aggregation: summary tables, curves and knee estimates.
+
+The paper's comparative figures come from exactly this kind of
+aggregation — delivery ratio against offered load (Fig 6's rise and
+collapse), the utilization knee where adding load stops adding
+throughput (Figs 5-8).  These helpers reduce a
+:class:`~repro.campaign.runner.CampaignResult` to those shapes and
+render an inspectable text artifact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from ..viz import line_chart, table
+from .runner import CampaignResult, CellResult
+
+__all__ = [
+    "campaign_table",
+    "group_over_seeds",
+    "delivery_curve",
+    "load_knee",
+    "utilization_knee",
+    "render_campaign",
+]
+
+
+def campaign_table(result: CampaignResult, title: str = "Campaign cells") -> str:
+    """Fixed-width per-cell summary table."""
+    return table([cell.as_row() for cell in result.cells], title=title)
+
+
+def group_over_seeds(
+    cells: Sequence[CellResult],
+) -> list[list[CellResult]]:
+    """Group cells that differ only by seed, first-seen order."""
+    groups: dict[tuple, list[CellResult]] = defaultdict(list)
+    for cell in cells:
+        groups[(cell.cell.scenario, cell.cell.params)].append(cell)
+    return list(groups.values())
+
+
+def delivery_curve(
+    result: CampaignResult, scenario: str | None = None
+) -> list[tuple[float, float]]:
+    """(offered_pps, mean delivery ratio) points, sorted by offered load.
+
+    Seeds of the same parameter point are averaged; with multiple
+    scenarios pass ``scenario`` to select one.
+    """
+    cells = [
+        c
+        for c in result.cells
+        if scenario is None or c.cell.scenario == scenario
+    ]
+    points = []
+    for group in group_over_seeds(cells):
+        points.append(
+            (
+                float(np.mean([c.offered_pps for c in group])),
+                float(np.mean([c.delivery_ratio for c in group])),
+            )
+        )
+    return sorted(points)
+
+
+def load_knee(
+    result: CampaignResult,
+    scenario: str | None = None,
+    min_delivery: float = 0.9,
+) -> float | None:
+    """Offered load (pps) where mean delivery ratio first drops below
+    ``min_delivery`` — the saturation knee of the delivery-vs-load
+    curve.  ``None`` if the network holds up across the whole sweep.
+    """
+    for offered_pps, delivery in delivery_curve(result, scenario):
+        if delivery < min_delivery:
+            return offered_pps
+    return None
+
+
+def utilization_knee(
+    result: CampaignResult, scenario: str | None = None
+) -> float | None:
+    """Mean channel utilization (%) at which throughput peaked — the
+    paper's Fig 6 knee, averaged over the scenario's non-empty cells.
+    """
+    values = [
+        c.peak_throughput_utilization
+        for c in result.cells
+        if (scenario is None or c.cell.scenario == scenario) and c.n_frames
+    ]
+    return float(np.mean(values)) if values else None
+
+
+def render_campaign(result: CampaignResult, title: str = "Campaign") -> str:
+    """Full text artifact: header, cell table, per-scenario knees and
+    delivery-vs-offered-load curves."""
+    lines = [
+        f"{title}: {len(result)} cells, {result.workers} worker(s), "
+        f"{result.elapsed_s:.1f}s wall",
+        "",
+        campaign_table(result).rstrip(),
+    ]
+    for scenario in result.scenarios():
+        lines.append("")
+        util_knee = utilization_knee(result, scenario)
+        knee_pps = load_knee(result, scenario)
+        lines.append(
+            f"[{scenario}] utilization knee: "
+            + (f"{util_knee:.1f}%" if util_knee is not None else "n/a")
+            + "  |  delivery<90% beyond: "
+            + (f"{knee_pps:.1f} pps offered" if knee_pps is not None else "never")
+        )
+        curve = delivery_curve(result, scenario)
+        if len(curve) >= 2:
+            xs = [p[0] for p in curve]
+            ys = [p[1] for p in curve]
+            lines.append(
+                line_chart(
+                    xs,
+                    ys,
+                    title=f"{scenario}: delivery ratio vs offered load (pps)",
+                    x_label="offered pps",
+                    y_label="delivery",
+                ).rstrip()
+            )
+    return "\n".join(lines) + "\n"

@@ -7,8 +7,9 @@ time-sorted :class:`~repro.frames.Trace` segments:
 
 * :func:`trace_chunks` — slice an in-memory trace (sorting it once);
 * :func:`pcap_chunks` — a radiotap pcap file, via :mod:`repro.pcap`;
-* :func:`scenario_chunks` — a simulated vicinity-sniffer feed from
-  :mod:`repro.sim`, replayed in capture order;
+* :func:`scenario_chunks` — a *live* simulated vicinity-sniffer feed
+  from :mod:`repro.sim`, drained in bounded batches as the simulation
+  advances (never a full-run trace);
 * any generator of your own (e.g. a live RFMon reader) that yields
   sorted, non-overlapping trace segments.
 
@@ -165,17 +166,24 @@ def pcap_chunks(
 
 
 def scenario_chunks(
-    config, chunk_frames: int = DEFAULT_CHUNK_FRAMES
+    config, chunk_frames: int = DEFAULT_CHUNK_FRAMES, window_s: float = 1.0
 ) -> Iterator[Trace]:
-    """Run a :mod:`repro.sim` scenario and stream its sniffer capture.
+    """Run a :mod:`repro.sim` scenario *live* and stream its capture.
 
-    This is the live-feed adapter: the simulated vicinity sniffer's
-    capture is replayed in time order, exactly as a monitoring daemon
-    would hand records to the pipeline.
+    The simulation advances window by window and each sniffer's buffer
+    is drained as frames settle, so chunks flow out while the scenario
+    runs and memory stays bounded by one drain window — a day-long
+    multi-million-frame session never materialises a full
+    :class:`~repro.frames.Trace` (and records no per-frame ground
+    truth).  The chunk concatenation equals
+    ``run_scenario(config).trace.sorted_by_time()`` — the order every
+    analysis works on — so analyses match the buffered path exactly.
     """
-    from ..sim import run_scenario
+    from ..sim import stream_scenario
 
-    yield from trace_chunks(run_scenario(config).trace, chunk_frames)
+    yield from stream_scenario(
+        config, chunk_frames=chunk_frames, window_s=window_s
+    )
 
 
 def as_stream(

@@ -6,6 +6,19 @@ path-loss/shadowing propagation, collisions and capture, while passive
 sniffers record what a vicinity-sniffing laptop would have captured.
 """
 
+from .builder import (
+    MAX_FRAME_AIRTIME_US,
+    BuiltScenario,
+    CalibratedObstruction,
+    ExplicitPlacement,
+    ExplicitPopulation,
+    FractionPopulation,
+    HotspotPlacement,
+    PoissonProgram,
+    RoomPlacement,
+    ScenarioBuilder,
+    StationRole,
+)
 from .channel_manager import ChannelManager, ChannelManagerConfig, ChannelSwitch
 from .dcf import DcfMac, MacConfig, MacStats
 from .engine import EventHandle, Simulator
@@ -31,6 +44,19 @@ from .scenarios import (
     ietf_plenary_config,
     load_ramp_config,
     run_scenario,
+    stream_scenario,
+)
+from .library import (
+    SCENARIO_LIBRARY,
+    available_scenarios,
+    build_scenario,
+    hidden_terminal_config,
+    hotspot_plenary_config,
+    co_channel_config,
+    register_scenario,
+    roaming_storm_config,
+    scenario_builder,
+    scenario_config,
 )
 from .sniffer import Sniffer, SnifferConfig, ground_truth_trace
 from .topology import place_aps, place_stations, sniffer_position
@@ -57,6 +83,8 @@ __all__ = [
     "BASIC_RATE_MBPS",
     "BEACON_INTERVAL_US",
     "BULK_MIX",
+    "BuiltScenario",
+    "CalibratedObstruction",
     "ChannelManager",
     "ClosedLoopSource",
     "ChannelManagerConfig",
@@ -65,13 +93,19 @@ __all__ = [
     "ConstantRate",
     "DcfMac",
     "EventHandle",
+    "ExplicitPlacement",
+    "ExplicitPopulation",
     "FixedRate",
+    "FractionPopulation",
+    "HotspotPlacement",
     "LinearRamp",
+    "MAX_FRAME_AIRTIME_US",
     "MacConfig",
     "MacStats",
     "Medium",
     "ModulatedRate",
     "PhyModel",
+    "PoissonProgram",
     "PoissonSource",
     "Position",
     "PowerControlConfig",
@@ -81,6 +115,9 @@ __all__ = [
     "Roam",
     "RoamingConfig",
     "RoamingManager",
+    "RoomPlacement",
+    "SCENARIO_LIBRARY",
+    "ScenarioBuilder",
     "ScenarioConfig",
     "ScenarioResult",
     "SimFrame",
@@ -90,20 +127,31 @@ __all__ = [
     "SnifferConfig",
     "SnrOracleRateAdaptation",
     "Station",
+    "StationRole",
     "StepSchedule",
     "Transmission",
     "TransmitPowerControl",
     "VOICE_MIX",
     "WEB_MIX",
+    "available_scenarios",
+    "build_scenario",
     "class_mixture",
+    "co_channel_config",
     "ground_truth_trace",
+    "hidden_terminal_config",
+    "hotspot_plenary_config",
     "ietf_day_config",
     "ietf_plenary_config",
     "load_ramp_config",
     "make_rate_adaptation",
     "place_aps",
     "place_stations",
+    "register_scenario",
+    "roaming_storm_config",
     "run_scenario",
+    "scenario_builder",
+    "scenario_config",
     "sniffer_position",
+    "stream_scenario",
     "uniform_sizes",
 ]

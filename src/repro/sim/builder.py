@@ -1,0 +1,738 @@
+"""Composable scenario assembly: topology, population, traffic, wiring.
+
+:func:`repro.sim.run_scenario` historically built one fixed floor plan in
+a single 200-line function.  This module decomposes that assembly into
+four swappable components plus the builder that wires them together:
+
+* :class:`Placement` — where APs, stations and sniffers physically go
+  (:class:`RoomPlacement` is the classic uniform floor,
+  :class:`HotspotPlacement` clusters users around foci,
+  :class:`ExplicitPlacement` pins every position for hand-built
+  geometries such as hidden-terminal pairs);
+* :class:`Population` — per-station roles: who runs RTS/CTS, who sits
+  behind an obstructed link, per-station load factors
+  (:class:`FractionPopulation` reproduces the config-fraction quotas);
+* :class:`LinkImpairment` — how an obstructed role translates into
+  propagation damage (:class:`CalibratedObstruction` lands the weak
+  link direction in a target SNR band);
+* :class:`TrafficProgram` — what each station offers
+  (:class:`PoissonProgram` is the open-loop uplink/downlink pair).
+
+``ScenarioBuilder`` assembles the components into a
+:class:`BuiltScenario`, which can either ``run()`` to completion and
+return the classic buffered :class:`~repro.sim.scenarios.ScenarioResult`,
+or ``stream()`` the sniffer capture as bounded time-sorted chunks while
+the simulation advances — the live feed the single-pass analysis
+pipeline consumes without ever materialising a full-run trace.
+
+The default component set is numerically identical to the historical
+``run_scenario`` (which now delegates here): RNG streams are consumed
+in the same order, entities attach to the medium in the same order, and
+events are scheduled in the same order, so fixed-seed runs reproduce
+frame for frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+import numpy as np
+
+from ..frames import FrameType, NodeRoster, Trace
+from .channel_manager import ChannelManager
+from .engine import Simulator
+from .medium import Medium
+from .node import AccessPoint, Station
+from .phy import PhyModel
+from .propagation import Position, PropagationModel
+from .rate_adaptation import make_rate_adaptation
+from .roaming import RoamingManager
+from .sniffer import Sniffer, ground_truth_trace
+from .topology import place_aps, place_stations, sniffer_position
+from .traffic import PoissonSource, ScaledRate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .scenarios import ScenarioConfig, ScenarioResult
+
+__all__ = [
+    "MAX_FRAME_AIRTIME_US",
+    "StationRole",
+    "Placement",
+    "RoomPlacement",
+    "HotspotPlacement",
+    "ExplicitPlacement",
+    "Population",
+    "FractionPopulation",
+    "ExplicitPopulation",
+    "LinkImpairment",
+    "CalibratedObstruction",
+    "TrafficProgram",
+    "PoissonProgram",
+    "BuiltScenario",
+    "ScenarioBuilder",
+]
+
+
+#: Sniffer node ids start here (outside the station/AP id space).
+SNIFFER_ID_BASE = 60_000
+
+#: Upper bound on one frame's on-air time: a maximum-size MSDU at
+#: 1 Mbps plus the long PLCP preamble is ~18.6 ms; rounded up with
+#: margin.  A streamed capture drains only rows older than this behind
+#: the simulation clock, so no frame can later appear before the
+#: watermark (sniffers timestamp a frame at its transmission *start*
+#: but record it at its end).
+MAX_FRAME_AIRTIME_US = 24_000
+
+#: Frames per streamed chunk (matches repro.pipeline's default; kept
+#: local so repro.sim does not import the pipeline at module load).
+_DEFAULT_CHUNK_FRAMES = 131_072
+
+
+# ---------------------------------------------------------------------------
+# component protocols and default implementations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StationRole:
+    """Per-station population facts the builder wires into the network."""
+
+    uses_rtscts: bool = False
+    obstructed: bool = False
+    load_factor: float = 1.0
+
+
+class Placement(Protocol):
+    """Physical layout strategy for one scenario."""
+
+    def ap_positions(self, config: "ScenarioConfig") -> list[Position]: ...
+
+    def station_positions(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[Position]: ...
+
+    def sniffer_position(self, config: "ScenarioConfig") -> Position: ...
+
+
+@dataclass(frozen=True)
+class RoomPlacement:
+    """The classic floor plan: APs on the centre line, stations uniform,
+    sniffers at the room centre (paper Figs 2-3)."""
+
+    def ap_positions(self, config: "ScenarioConfig") -> list[Position]:
+        return place_aps(config.n_aps, config.room_width_m, config.room_depth_m)
+
+    def station_positions(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[Position]:
+        return place_stations(
+            config.n_stations, config.room_width_m, config.room_depth_m, rng
+        )
+
+    def sniffer_position(self, config: "ScenarioConfig") -> Position:
+        return sniffer_position(config.room_width_m, config.room_depth_m)
+
+
+@dataclass(frozen=True)
+class HotspotPlacement:
+    """Stations cluster around hotspot foci instead of filling the floor.
+
+    ``centres`` are (x, y) fractions of the room; each station picks a
+    focus uniformly and lands a Gaussian ``spread_m`` away (clipped to
+    the floor).  Models the registration desk / coffee-break crowding
+    that makes conference cells locally much denser than a uniform
+    scatter.
+    """
+
+    centres: tuple[tuple[float, float], ...] = ((0.5, 0.5),)
+    spread_m: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.centres:
+            raise ValueError("need at least one hotspot centre")
+        if self.spread_m <= 0:
+            raise ValueError("spread_m must be positive")
+
+    def ap_positions(self, config: "ScenarioConfig") -> list[Position]:
+        return place_aps(config.n_aps, config.room_width_m, config.room_depth_m)
+
+    def station_positions(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[Position]:
+        margin = 1.0
+        width, depth = config.room_width_m, config.room_depth_m
+        positions = []
+        for _ in range(config.n_stations):
+            cx, cy = self.centres[int(rng.integers(0, len(self.centres)))]
+            x = float(np.clip(
+                cx * width + rng.normal(0.0, self.spread_m),
+                margin, max(width - margin, margin),
+            ))
+            y = float(np.clip(
+                cy * depth + rng.normal(0.0, self.spread_m),
+                margin, max(depth - margin, margin),
+            ))
+            positions.append(Position(x, y))
+        return positions
+
+    def sniffer_position(self, config: "ScenarioConfig") -> Position:
+        return sniffer_position(config.room_width_m, config.room_depth_m)
+
+
+@dataclass(frozen=True)
+class ExplicitPlacement:
+    """Every position pinned by hand — hidden-terminal pairs, regression
+    geometries, measured venue layouts."""
+
+    aps: tuple[Position, ...]
+    stations: tuple[Position, ...]
+    sniffer: Position
+
+    def ap_positions(self, config: "ScenarioConfig") -> list[Position]:
+        if len(self.aps) != config.n_aps:
+            raise ValueError(
+                f"placement pins {len(self.aps)} APs but config has "
+                f"{config.n_aps}"
+            )
+        return list(self.aps)
+
+    def station_positions(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[Position]:
+        if len(self.stations) != config.n_stations:
+            raise ValueError(
+                f"placement pins {len(self.stations)} stations but config "
+                f"has {config.n_stations}"
+            )
+        return list(self.stations)
+
+    def sniffer_position(self, config: "ScenarioConfig") -> Position:
+        return self.sniffer
+
+
+class Population(Protocol):
+    """Assign per-station roles for one scenario."""
+
+    def assign(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[StationRole]: ...
+
+
+@dataclass(frozen=True)
+class FractionPopulation:
+    """Quota-based roles from the config fractions (the default).
+
+    The first ``round(rtscts_fraction * n)`` station indices use
+    RTS/CTS; ``round(obstructed_fraction * n)`` indices drawn without
+    replacement are obstructed and get the configured load factor —
+    exactly the populations ``run_scenario`` always built.
+    """
+
+    def assign(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[StationRole]:
+        n = config.n_stations
+        n_rtscts = round(config.rtscts_fraction * n)
+        n_obstructed = round(config.obstructed_fraction * n)
+        obstructed = set(
+            rng.choice(n, size=n_obstructed, replace=False).tolist()
+        )
+        return [
+            StationRole(
+                uses_rtscts=j < n_rtscts,
+                obstructed=j in obstructed,
+                load_factor=(
+                    config.obstructed_load_factor if j in obstructed else 1.0
+                ),
+            )
+            for j in range(n)
+        ]
+
+
+@dataclass(frozen=True)
+class ExplicitPopulation:
+    """Hand-picked roles, index-aligned with the station positions."""
+
+    roles: tuple[StationRole, ...]
+
+    def assign(
+        self, config: "ScenarioConfig", rng: np.random.Generator
+    ) -> list[StationRole]:
+        if len(self.roles) != config.n_stations:
+            raise ValueError(
+                f"population pins {len(self.roles)} roles but config has "
+                f"{config.n_stations} stations"
+            )
+        return list(self.roles)
+
+
+class LinkImpairment(Protocol):
+    """Translate an obstructed role into propagation damage."""
+
+    def apply(
+        self,
+        config: "ScenarioConfig",
+        propagation: PropagationModel,
+        node_id: int,
+        position: Position,
+        ap: AccessPoint,
+        rng: np.random.Generator,
+    ) -> None: ...
+
+
+@dataclass(frozen=True)
+class CalibratedObstruction:
+    """Extra loss calibrated so the weaker link direction lands in the
+    config's SNR band (the default).
+
+    Calibrate on the *weaker* direction (usually the station uplink,
+    lower tx power): the stronger direction then sits a few dB above
+    the band.  Calibrating on the strong direction would leave the weak
+    one below the band — undeliverable at any rate.
+    """
+
+    def apply(
+        self,
+        config: "ScenarioConfig",
+        propagation: PropagationModel,
+        node_id: int,
+        position: Position,
+        ap: AccessPoint,
+        rng: np.random.Generator,
+    ) -> None:
+        clean_rx = propagation.received_power_dbm(
+            min(config.station_tx_power_dbm, config.ap_tx_power_dbm),
+            ap.mac.position,
+            position,
+            tx_id=ap.node_id,
+            rx_id=node_id,
+        )
+        clean_snr = clean_rx - propagation.noise_floor_dbm
+        lo, hi = config.obstructed_snr_band_db
+        target_snr = float(rng.uniform(lo, hi))
+        propagation.node_extra_loss_db[node_id] = max(0.0, clean_snr - target_snr)
+
+
+class TrafficProgram(Protocol):
+    """Attach offered-load sources to a built network."""
+
+    def attach(self, built: "BuiltScenario") -> list[object]: ...
+
+
+@dataclass(frozen=True)
+class PoissonProgram:
+    """Per-station open-loop Poisson uplink + downlink (the default).
+
+    Follows the config's rate schedules, size mix and activity windows;
+    stations whose role carries a load factor get both directions
+    scaled (their upper layers would back off on a bad link).
+    """
+
+    def attach(self, built: "BuiltScenario") -> list[object]:
+        config, sim = built.config, built.sim
+        sources: list[object] = []
+        for j, station in enumerate(built.stations):
+            sta_rng = np.random.default_rng(config.seed + 1000 + j)
+            if config.activity is not None:
+                start_us, end_us = config.activity(j, sta_rng)
+            else:
+                start_us, end_us = 0, config.duration_us
+            uplink, downlink = config.uplink, config.downlink
+            role = built.roles[j]
+            if role.load_factor != 1.0:
+                uplink = ScaledRate(uplink, role.load_factor)
+                downlink = ScaledRate(downlink, role.load_factor)
+            # Association management frame at activity start.
+            sim.schedule_at(
+                max(start_us, 0),
+                (lambda s=station: s.mac.enqueue(s.ap_id, 64, FrameType.MGMT)),
+            )
+            sources.append(
+                PoissonSource(
+                    sim=sim,
+                    enqueue=station.mac.enqueue,
+                    dst=station.ap_id,
+                    schedule=uplink,
+                    sizes=config.size_mix,
+                    rng=sta_rng,
+                    start_us=start_us,
+                    end_us=end_us,
+                )
+            )
+            sources.append(
+                PoissonSource(
+                    sim=sim,
+                    enqueue=built.downlink_enqueue(station.node_id),
+                    dst=station.node_id,
+                    schedule=downlink,
+                    sizes=config.size_mix,
+                    rng=np.random.default_rng(config.seed + 2000 + j),
+                    start_us=start_us,
+                    end_us=end_us,
+                )
+            )
+        return sources
+
+
+# ---------------------------------------------------------------------------
+# the built scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BuiltScenario:
+    """A fully wired network, ready to run exactly once.
+
+    ``run()`` buffers everything and returns the classic
+    :class:`~repro.sim.scenarios.ScenarioResult`; ``stream()`` yields
+    the merged sniffer capture as bounded, time-sorted chunks while the
+    simulation advances, never holding more than one drain window of
+    rows — feed it straight to :func:`repro.pipeline.run_all`.
+    """
+
+    config: "ScenarioConfig"
+    sim: Simulator
+    medium: Medium
+    propagation: PropagationModel
+    phy: PhyModel
+    aps: list[AccessPoint]
+    stations: list[Station]
+    roles: list[StationRole]
+    downlink_router: dict[int, AccessPoint]
+    sniffers: list[Sniffer] = field(default_factory=list)
+    sources: list[object] = field(default_factory=list)
+    channel_manager: ChannelManager | None = None
+    roaming_manager: RoamingManager | None = None
+    _consumed: bool = False
+
+    @property
+    def roster(self) -> NodeRoster:
+        return NodeRoster(
+            [ap.info for ap in self.aps]
+            + [station.info for station in self.stations]
+        )
+
+    def downlink_enqueue(self, station_id: int):
+        """Enqueue-callable that routes via the station's *current* AP.
+
+        Sources look the serving AP up per packet, so roaming re-targets
+        in-flight flows like a real distribution system.
+        """
+
+        def enqueue(dst, size, ftype):
+            return self.downlink_router[station_id].mac.enqueue(dst, size, ftype)
+
+        return enqueue
+
+    # -- post-run statistics (valid after run() or a finished stream()) ----
+
+    @property
+    def frames_transmitted(self) -> int:
+        return self.medium.frames_transmitted
+
+    @property
+    def frames_captured(self) -> int:
+        return sum(s.frames_captured for s in self.sniffers)
+
+    @property
+    def capture_ratio(self) -> float:
+        """Captured / transmitted; 0.0 for a degenerate zero-frame run."""
+        total = self.frames_transmitted
+        return self.frames_captured / total if total else 0.0
+
+    @property
+    def offered_packets(self) -> int:
+        """MSDUs offered by all traffic sources that count them."""
+        return sum(
+            int(getattr(source, "packets_offered", 0)) for source in self.sources
+        )
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Aggregate DATA delivery ratio across every MAC in the network.
+
+        Guarded: a run where nothing was attempted reports 0.0 rather
+        than dividing by zero.
+        """
+        attempts = successes = 0
+        for node in (*self.stations, *self.aps):
+            attempts += node.mac.stats.data_attempts
+            successes += node.mac.stats.data_successes
+        return successes / attempts if attempts else 0.0
+
+    def _consume(self) -> None:
+        if self._consumed:
+            raise RuntimeError(
+                "this BuiltScenario has already run; build a fresh one"
+            )
+        self._consumed = True
+
+    def run(self) -> "ScenarioResult":
+        """Run to the configured duration; return buffered artifacts."""
+        from .scenarios import ScenarioResult
+
+        self._consume()
+        self.sim.run_until(self.config.duration_us)
+        trace = Trace.concatenate([s.to_trace() for s in self.sniffers])
+        return ScenarioResult(
+            trace=trace,
+            ground_truth=ground_truth_trace(self.medium),
+            roster=self.roster,
+            stations=self.stations,
+            aps=self.aps,
+            sniffers=self.sniffers,
+            medium=self.medium,
+            sim=self.sim,
+            config=self.config,
+            channel_manager=self.channel_manager,
+            roaming_manager=self.roaming_manager,
+        )
+
+    def stream(
+        self,
+        chunk_frames: int = _DEFAULT_CHUNK_FRAMES,
+        window_s: float = 1.0,
+        drain_guard_us: int = MAX_FRAME_AIRTIME_US,
+        record_ground_truth: bool = False,
+    ) -> Iterator[Trace]:
+        """Advance the simulation window by window, yielding the merged
+        sniffer capture as time-sorted chunks of at most ``chunk_frames``.
+
+        Memory stays bounded: each window drains every sniffer of rows
+        older than ``now - drain_guard_us`` (rows newer than that may
+        still be re-ordered by in-flight frames), and per-frame ground
+        truth is not recorded unless requested.  The concatenation of
+        the yielded chunks equals the buffered ``run()`` capture after
+        its global stable time sort — i.e. exactly the row order
+        ``analyze_trace`` works on — so a streamed analysis is
+        field-identical to the buffered one.  (``run().trace`` itself
+        is a per-sniffer concatenation; on multi-channel configs
+        compare against ``run().trace.sorted_by_time()``.)
+        """
+        if chunk_frames <= 0:
+            raise ValueError("chunk_frames must be positive")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if drain_guard_us < MAX_FRAME_AIRTIME_US:
+            raise ValueError(
+                f"drain_guard_us must cover one frame airtime "
+                f"({MAX_FRAME_AIRTIME_US} us)"
+            )
+        self._consume()
+        self.medium.record_ground_truth = record_ground_truth
+        duration_us = self.config.duration_us
+        window_us = max(int(window_s * 1_000_000), 1)
+        now = 0
+        watermark = 0
+        while now < duration_us:
+            now = min(now + window_us, duration_us)
+            self.sim.run_until(now)
+            if now >= duration_us:
+                cutoff = None        # run complete: drain everything
+            else:
+                cutoff = now - drain_guard_us
+                if cutoff <= watermark:
+                    continue         # nothing new is safely behind the guard
+                watermark = cutoff
+            merged = Trace.concatenate(
+                [s.drain_trace(cutoff) for s in self.sniffers]
+            ).sorted_by_time()
+            for lo in range(0, len(merged), chunk_frames):
+                yield merged.slice_rows(lo, min(lo + chunk_frames, len(merged)))
+
+
+# ---------------------------------------------------------------------------
+# the builder
+# ---------------------------------------------------------------------------
+
+
+class ScenarioBuilder:
+    """Assemble a :class:`BuiltScenario` from swappable components.
+
+    >>> from repro.sim import ScenarioBuilder, ScenarioConfig
+    >>> built = (
+    ...     ScenarioBuilder(ScenarioConfig(n_stations=2, duration_s=1.0))
+    ...     .with_placement(HotspotPlacement(centres=((0.3, 0.5),)))
+    ...     .build()
+    ... )
+    >>> len(built.stations)
+    2
+
+    ``with_*`` methods return ``self`` for chaining; ``configure``
+    tweaks individual config fields without rebuilding the whole
+    :class:`~repro.sim.scenarios.ScenarioConfig`.
+    """
+
+    def __init__(self, config: "ScenarioConfig | None" = None) -> None:
+        from .scenarios import ScenarioConfig
+
+        self.config = config if config is not None else ScenarioConfig()
+        self._placement: Placement = RoomPlacement()
+        self._population: Population = FractionPopulation()
+        self._impairment: LinkImpairment = CalibratedObstruction()
+        self._traffic: TrafficProgram = PoissonProgram()
+
+    def configure(self, **overrides) -> "ScenarioBuilder":
+        """Replace individual :class:`ScenarioConfig` fields."""
+        self.config = replace(self.config, **overrides)
+        return self
+
+    def with_config(self, config: "ScenarioConfig") -> "ScenarioBuilder":
+        self.config = config
+        return self
+
+    def with_placement(self, placement: Placement) -> "ScenarioBuilder":
+        self._placement = placement
+        return self
+
+    def with_population(self, population: Population) -> "ScenarioBuilder":
+        self._population = population
+        return self
+
+    def with_impairment(self, impairment: LinkImpairment) -> "ScenarioBuilder":
+        self._impairment = impairment
+        return self
+
+    def with_traffic(self, traffic: TrafficProgram) -> "ScenarioBuilder":
+        self._traffic = traffic
+        return self
+
+    def build(self) -> BuiltScenario:
+        """Wire the network.  Component hooks run in a fixed order
+        (placement → population → per-station impairments → traffic →
+        infrastructure → sniffers) sharing one seeded RNG stream, so a
+        given config + component set is fully reproducible.
+        """
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        sim = Simulator()
+        propagation = PropagationModel(
+            exponent=config.path_loss_exponent,
+            shadowing_sigma_db=config.shadowing_sigma_db,
+            rng=np.random.default_rng(config.seed + 1),
+        )
+        phy = PhyModel()
+        medium = Medium(
+            sim, propagation, phy, rng=np.random.default_rng(config.seed + 2)
+        )
+
+        # --- access points: round-robin over channels ------------------
+        aps: list[AccessPoint] = []
+        for i, pos in enumerate(self._placement.ap_positions(config)):
+            aps.append(
+                AccessPoint.create(
+                    sim=sim,
+                    medium=medium,
+                    phy=phy,
+                    node_id=i + 1,
+                    position=pos,
+                    channel=config.channels[i % len(config.channels)],
+                    rng=np.random.default_rng(config.seed + 10 + i),
+                    rate_adaptation=make_rate_adaptation(
+                        config.rate_algorithm, **config.rate_adaptation_kwargs
+                    ),
+                    tx_power_dbm=config.ap_tx_power_dbm,
+                    mac_config=config.mac_config,
+                )
+            )
+
+        # --- stations: placed, role-assigned, associated to nearest AP --
+        sta_positions = self._placement.station_positions(config, rng)
+        roles = self._population.assign(config, rng)
+        stations: list[Station] = []
+        for j, pos in enumerate(sta_positions):
+            nearest = min(aps, key=lambda ap: ap.mac.position.distance_to(pos))
+            node_id = config.n_aps + 1 + j
+            if roles[j].obstructed:
+                self._impairment.apply(
+                    config, propagation, node_id, pos, nearest, rng
+                )
+            station = Station.create(
+                sim=sim,
+                medium=medium,
+                phy=phy,
+                node_id=node_id,
+                position=pos,
+                channel=nearest.channel,
+                ap_id=nearest.node_id,
+                rng=np.random.default_rng(config.seed + 100 + j),
+                rate_adaptation=make_rate_adaptation(
+                    config.rate_algorithm, **self._station_ra_kwargs()
+                ),
+                uses_rtscts=roles[j].uses_rtscts,
+                tx_power_dbm=config.station_tx_power_dbm,
+                mac_config=config.mac_config,
+                power_control=config.power_control,
+            )
+            nearest.associate(station.node_id)
+            stations.append(station)
+
+        downlink_router: dict[int, AccessPoint] = {
+            station.node_id: next(
+                a for a in aps if a.node_id == station.ap_id
+            )
+            for station in stations
+        }
+        built = BuiltScenario(
+            config=config,
+            sim=sim,
+            medium=medium,
+            propagation=propagation,
+            phy=phy,
+            aps=aps,
+            stations=stations,
+            roles=roles,
+            downlink_router=downlink_router,
+        )
+
+        # --- traffic, infrastructure, sniffers (original event order) --
+        built.sources = self._traffic.attach(built)
+        if config.channel_management:
+            built.channel_manager = ChannelManager(
+                sim=sim,
+                medium=medium,
+                aps=aps,
+                stations=stations,
+                channels=config.channels,
+            )
+        if config.roaming:
+            built.roaming_manager = RoamingManager(
+                sim=sim,
+                propagation=propagation,
+                aps=aps,
+                stations=stations,
+                downlink_router=downlink_router,
+                ap_tx_power_dbm=config.ap_tx_power_dbm,
+            )
+        centre = self._placement.sniffer_position(config)
+        for k, channel in enumerate(config.channels):
+            built.sniffers.append(
+                Sniffer(
+                    sim=sim,
+                    medium=medium,
+                    node_id=SNIFFER_ID_BASE + k,
+                    position=centre,
+                    channel=channel,
+                    rng=np.random.default_rng(config.seed + 3000 + k),
+                    config=config.sniffer_config,
+                )
+            )
+        return built
+
+    def _station_ra_kwargs(self) -> dict:
+        """Station-side rate-adaptation kwargs.
+
+        SNR-based schemes measure the *downlink* (frames heard from the
+        AP) but transmit on the *uplink*; the AP typically runs hotter,
+        so the station oracle budgets the tx-power asymmetry as a
+        margin.
+        """
+        config = self.config
+        kwargs = dict(config.rate_adaptation_kwargs)
+        if config.rate_algorithm == "snr" and "margin_db" not in kwargs:
+            kwargs["margin_db"] = max(
+                0.0, config.ap_tx_power_dbm - config.station_tx_power_dbm
+            )
+        return kwargs

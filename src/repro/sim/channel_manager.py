@@ -72,20 +72,25 @@ class ChannelManager:
         self.channels = channels
         self.config = config or ChannelManagerConfig()
         self.switches: list[ChannelSwitch] = []
-        self._last_seen = 0               # ground-truth index watermark
+        self._last_counts: dict[int, int] = {}  # per-channel count watermark
         self._last_switch: dict[int, int] = {}
         sim.schedule_in(self.config.interval_us, self._evaluate)
 
     # -- measurement --------------------------------------------------------
 
     def _interval_load(self) -> dict[int, int]:
-        """Frames transmitted per channel since the last evaluation."""
-        records = self.medium.ground_truth
-        load = {ch: 0 for ch in self.channels}
-        for _, frame in records[self._last_seen:]:
-            if frame.channel in load:
-                load[frame.channel] += 1
-        self._last_seen = len(records)
+        """Frames transmitted per channel since the last evaluation.
+
+        Reads the medium's running per-channel counters rather than the
+        ground-truth frame list, so it works on streaming runs where
+        per-frame ground truth is not recorded.
+        """
+        counts = self.medium.channel_tx_counts
+        load = {
+            ch: counts.get(ch, 0) - self._last_counts.get(ch, 0)
+            for ch in self.channels
+        }
+        self._last_counts = {ch: counts.get(ch, 0) for ch in self.channels}
         return load
 
     def _aps_on(self, channel: int) -> list[AccessPoint]:

@@ -74,34 +74,33 @@ class Simulator:
             raise ValueError(f"delay must be non-negative, got {delay_us}")
         return self.schedule_at(self.now_us + int(delay_us), callback)
 
-    def run_until(self, end_us: int) -> None:
-        """Execute events with ``time <= end_us``; clock ends at ``end_us``."""
-        end_us = int(end_us)
+    def _drain(self, end_us: int | None, safety_limit: int | None) -> None:
+        """Pop-and-fire loop shared by :meth:`run_until` and :meth:`run_all`.
+
+        Tombstoned (cancelled) events are discarded without counting
+        against ``safety_limit``; ``end_us=None`` means no time bound.
+        """
         heap = self._heap
-        while heap and heap[0][0] <= end_us:
+        executed = 0
+        while heap and (end_us is None or heap[0][0] <= end_us):
             time_us, _, handle = heapq.heappop(heap)
             if handle.cancelled:
                 continue
+            executed += 1
+            if safety_limit is not None and executed > safety_limit:
+                raise RuntimeError("event limit exceeded; runaway simulation?")
             self.now_us = time_us
             callback = handle.callback
             handle.cancelled = True  # one-shot
             self._processed += 1
             callback()  # type: ignore[misc]
+
+    def run_until(self, end_us: int) -> None:
+        """Execute events with ``time <= end_us``; clock ends at ``end_us``."""
+        end_us = int(end_us)
+        self._drain(end_us, None)
         self.now_us = max(self.now_us, end_us)
 
     def run_all(self, safety_limit: int = 50_000_000) -> None:
         """Drain the queue entirely (bounded by ``safety_limit`` events)."""
-        heap = self._heap
-        executed = 0
-        while heap:
-            time_us, _, handle = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            executed += 1
-            if executed > safety_limit:
-                raise RuntimeError("event limit exceeded; runaway simulation?")
-            self.now_us = time_us
-            callback = handle.callback
-            handle.cancelled = True
-            self._processed += 1
-            callback()  # type: ignore[misc]
+        self._drain(None, safety_limit)

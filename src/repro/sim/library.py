@@ -1,0 +1,375 @@
+"""Named scenario library: ready-made builders for diverse conditions.
+
+The paper's findings come from *comparing* conditions — congested vs.
+uncongested hours, RTS/CTS on vs. off, rate fallback under load.  This
+registry packages those conditions (and the pathologies behind them) as
+named, parameterised :class:`~repro.sim.builder.ScenarioBuilder`
+factories, so campaigns can sweep them by name:
+
+* ``ramp`` / ``day`` / ``plenary`` — the classic calibrated configs;
+* ``hidden-terminal`` — two station clusters that can reach the AP but
+  not hear each other (the §5 collision pathology RTS/CTS targets);
+* ``hotspot-plenary`` — users piled around hotspot foci with heavy
+  bursty arrivals, the registration-desk crowding case;
+* ``co-channel`` — several APs sharing one channel, so cells contend
+  instead of being isolated (the paper's §4.1 channel-overlap worry);
+* ``roaming-storm`` — heavy shadowing plus handoffs, churning
+  associations like Figure 4(b)'s moving user counts.
+
+Every factory takes scenario-shaping keyword arguments plus arbitrary
+:class:`~repro.sim.scenarios.ScenarioConfig` field overrides, e.g.
+``build_scenario("hidden-terminal", n_stations=12, duration_s=20.0,
+rtscts_fraction=1.0)``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from .builder import (
+    BuiltScenario,
+    ExplicitPlacement,
+    HotspotPlacement,
+    ScenarioBuilder,
+)
+from .propagation import Position
+from .scenarios import (
+    RAMP_MIX,
+    ScenarioConfig,
+    ietf_day_config,
+    ietf_plenary_config,
+    load_ramp_config,
+)
+from .topology import sniffer_position
+from .traffic import CONFERENCE_MIX, ConstantRate, ModulatedRate
+
+__all__ = [
+    "SCENARIO_LIBRARY",
+    "register_scenario",
+    "available_scenarios",
+    "scenario_builder",
+    "scenario_config",
+    "build_scenario",
+    "hidden_terminal_config",
+    "hotspot_plenary_config",
+    "co_channel_config",
+    "roaming_storm_config",
+]
+
+
+#: name -> factory returning a configured ScenarioBuilder.
+SCENARIO_LIBRARY: dict[str, Callable[..., ScenarioBuilder]] = {}
+
+
+def register_scenario(name: str):
+    """Decorator: add a builder factory to the library under ``name``."""
+
+    def wrap(factory: Callable[..., ScenarioBuilder]):
+        if name in SCENARIO_LIBRARY:
+            raise ValueError(f"scenario {name!r} already registered")
+        SCENARIO_LIBRARY[name] = factory
+        return factory
+
+    return wrap
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIO_LIBRARY)
+
+
+def scenario_builder(name: str, **params) -> ScenarioBuilder:
+    """Instantiate the named library scenario with ``params``.
+
+    Parameters the factory's signature declares go to the factory;
+    anything else must be a :class:`ScenarioConfig` field and is applied
+    as an override.
+    """
+    factory = SCENARIO_LIBRARY.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        )
+    return factory(**params)
+
+
+def scenario_config(name: str, **params) -> ScenarioConfig:
+    """The :class:`ScenarioConfig` the named scenario would run with."""
+    return scenario_builder(name, **params).config
+
+
+def build_scenario(name: str, **params) -> BuiltScenario:
+    """Build (but do not run) the named scenario — call ``run()`` or
+    ``stream()`` on the result."""
+    return scenario_builder(name, **params).build()
+
+
+def _split_params(factory: Callable, params: dict) -> tuple[dict, dict]:
+    """Split ``params`` into factory kwargs vs. config-field overrides."""
+    accepted = set(inspect.signature(factory).parameters)
+    factory_kwargs = {k: v for k, v in params.items() if k in accepted}
+    overrides = {k: v for k, v in params.items() if k not in accepted}
+    return factory_kwargs, overrides
+
+
+def _classic(config_factory: Callable[..., ScenarioConfig]):
+    """Wrap a plain config factory as a builder factory with overrides."""
+
+    def make(**params) -> ScenarioBuilder:
+        factory_kwargs, overrides = _split_params(config_factory, params)
+        return ScenarioBuilder(config_factory(**factory_kwargs)).configure(
+            **overrides
+        )
+
+    return make
+
+
+SCENARIO_LIBRARY["ramp"] = _classic(load_ramp_config)
+SCENARIO_LIBRARY["day"] = _classic(ietf_day_config)
+SCENARIO_LIBRARY["plenary"] = _classic(ietf_plenary_config)
+
+
+def hidden_terminal_config(
+    n_stations: int = 8,
+    duration_s: float = 20.0,
+    seed: int = 31,
+    room_width_m: float = 64.0,
+    uplink_pps: float = 22.0,
+    rtscts_fraction: float = 0.0,
+) -> ScenarioConfig:
+    """Config half of :func:`_hidden_terminal` (see that factory)."""
+    return ScenarioConfig(
+        n_stations=n_stations,
+        n_aps=1,
+        duration_s=duration_s,
+        seed=seed,
+        channels=(1,),
+        room_width_m=room_width_m,
+        room_depth_m=8.0,
+        # Deterministic geometry: hiddenness must come from path loss,
+        # not a lucky shadowing draw.
+        shadowing_sigma_db=0.0,
+        path_loss_exponent=3.5,
+        station_tx_power_dbm=15.0,
+        rtscts_fraction=rtscts_fraction,
+        obstructed_fraction=0.0,
+        uplink=ConstantRate(uplink_pps),
+        downlink=ConstantRate(4.0),
+        size_mix=CONFERENCE_MIX,
+    )
+
+
+@register_scenario("hidden-terminal")
+def _hidden_terminal(
+    n_stations: int = 8,
+    duration_s: float = 20.0,
+    seed: int = 31,
+    room_width_m: float = 64.0,
+    uplink_pps: float = 22.0,
+    rtscts_fraction: float = 0.0,
+    **overrides,
+) -> ScenarioBuilder:
+    """Two station clusters at opposite ends of a long narrow room.
+
+    At path-loss exponent 3.5 and 15 dBm transmit power the ~58 m
+    cluster separation puts each cluster below the other's -85 dBm
+    carrier-sense threshold while the ~30 m AP link still delivers
+    ~20 dB SNR: both ends talk to the AP, neither defers to the other,
+    and uplink DATA collides at the AP.  Sweep ``rtscts_fraction``
+    0 → 1 to reproduce the RTS/CTS trade-off of the paper's Figure 7.
+    """
+    config = hidden_terminal_config(
+        n_stations=n_stations,
+        duration_s=duration_s,
+        seed=seed,
+        room_width_m=room_width_m,
+        uplink_pps=uplink_pps,
+        rtscts_fraction=rtscts_fraction,
+    )
+    if overrides:
+        # Apply overrides *before* pinning positions: the explicit
+        # placement below is computed from the room geometry, so a late
+        # configure() would silently ignore e.g. room_depth_m.
+        config = replace(config, **overrides)
+    width, depth = config.room_width_m, config.room_depth_m
+    rng = np.random.default_rng(seed + 7)
+    stations = []
+    for j in range(config.n_stations):
+        # Alternate ends so both clusters stay populated for any count.
+        x_lo, x_hi = (1.0, 3.0) if j % 2 == 0 else (width - 3.0, width - 1.0)
+        stations.append(
+            Position(
+                float(rng.uniform(x_lo, x_hi)),
+                float(rng.uniform(1.0, depth - 1.0)),
+            )
+        )
+    placement = ExplicitPlacement(
+        aps=(Position(width / 2.0, depth / 2.0),),
+        stations=tuple(stations),
+        sniffer=sniffer_position(width, depth),
+    )
+    return ScenarioBuilder(config).with_placement(placement)
+
+
+def hotspot_plenary_config(
+    n_stations: int = 24,
+    duration_s: float = 45.0,
+    seed: int = 33,
+    burst_sigma: float = 1.3,
+) -> ScenarioConfig:
+    """Config half of :func:`_hotspot_plenary` (see that factory)."""
+    return ScenarioConfig(
+        n_stations=n_stations,
+        n_aps=3,
+        duration_s=duration_s,
+        seed=seed,
+        channels=(1, 6, 11),
+        room_width_m=40.0,
+        room_depth_m=25.0,
+        shadowing_sigma_db=6.0,
+        path_loss_exponent=3.2,
+        station_tx_power_dbm=12.0,
+        rate_adaptation_kwargs={"up_threshold": 5, "down_threshold": 3},
+        obstructed_fraction=0.2,
+        size_mix=RAMP_MIX,
+        uplink=ModulatedRate(
+            ConstantRate(10.0), sigma=burst_sigma, seed=seed + 51
+        ),
+        downlink=ModulatedRate(
+            ConstantRate(30.0), sigma=burst_sigma, seed=seed + 52
+        ),
+    )
+
+
+@register_scenario("hotspot-plenary")
+def _hotspot_plenary(
+    n_stations: int = 24,
+    duration_s: float = 45.0,
+    seed: int = 33,
+    burst_sigma: float = 1.3,
+    spread_m: float = 4.0,
+    **overrides,
+) -> ScenarioBuilder:
+    """Plenary-hall cells with users piled around hotspot foci.
+
+    Instead of a uniform floor, stations cluster near the doors and the
+    front rows, so one AP's cell is much denser than the others while
+    heavy log-normal burst modulation (``burst_sigma``) slams the
+    offered load around — the crowding that drove the paper's plenary
+    captures deep into congestion.
+    """
+    config = hotspot_plenary_config(
+        n_stations=n_stations,
+        duration_s=duration_s,
+        seed=seed,
+        burst_sigma=burst_sigma,
+    )
+    placement = HotspotPlacement(
+        centres=((0.15, 0.5), (0.85, 0.55), (0.5, 0.3)),
+        spread_m=spread_m,
+    )
+    return (
+        ScenarioBuilder(config).with_placement(placement).configure(**overrides)
+    )
+
+
+def co_channel_config(
+    n_stations: int = 18,
+    n_aps: int = 3,
+    duration_s: float = 30.0,
+    seed: int = 35,
+) -> ScenarioConfig:
+    """Config half of :func:`_co_channel` (see that factory)."""
+    return ScenarioConfig(
+        n_stations=n_stations,
+        n_aps=n_aps,
+        duration_s=duration_s,
+        seed=seed,
+        channels=(1,),           # every AP on the same channel
+        room_width_m=70.0,
+        room_depth_m=25.0,
+        shadowing_sigma_db=5.0,
+        path_loss_exponent=3.1,
+        station_tx_power_dbm=13.0,
+        obstructed_fraction=0.15,
+        uplink=ConstantRate(7.0),
+        downlink=ConstantRate(20.0),
+        size_mix=CONFERENCE_MIX,
+    )
+
+
+@register_scenario("co-channel")
+def _co_channel(
+    n_stations: int = 18,
+    n_aps: int = 3,
+    duration_s: float = 30.0,
+    seed: int = 35,
+    **overrides,
+) -> ScenarioBuilder:
+    """Several AP cells forced onto one shared channel.
+
+    The paper's venue spread its APs over channels 1/6/11; this
+    scenario deliberately does not, so neighbouring cells carrier-sense
+    and collide with each other.  Sweeping ``n_aps`` shows co-channel
+    overlap eating the capacity that extra APs were supposed to add.
+    """
+    config = co_channel_config(
+        n_stations=n_stations,
+        n_aps=n_aps,
+        duration_s=duration_s,
+        seed=seed,
+    )
+    return ScenarioBuilder(config).configure(**overrides)
+
+
+def roaming_storm_config(
+    n_stations: int = 20,
+    duration_s: float = 40.0,
+    seed: int = 37,
+) -> ScenarioConfig:
+    """Config half of :func:`_roaming_storm` (see that factory)."""
+    return ScenarioConfig(
+        n_stations=n_stations,
+        n_aps=4,
+        duration_s=duration_s,
+        seed=seed,
+        channels=(1, 6, 11),
+        room_width_m=60.0,
+        room_depth_m=25.0,
+        # Heavy per-link shadowing: nearest-by-distance association is
+        # frequently not strongest-by-beacon, so the first scans set
+        # off a wave of reassociations.
+        shadowing_sigma_db=9.0,
+        path_loss_exponent=3.2,
+        station_tx_power_dbm=12.0,
+        roaming=True,
+        obstructed_fraction=0.1,
+        uplink=ConstantRate(6.0),
+        downlink=ConstantRate(16.0),
+        size_mix=CONFERENCE_MIX,
+    )
+
+
+@register_scenario("roaming-storm")
+def _roaming_storm(
+    n_stations: int = 20,
+    duration_s: float = 40.0,
+    seed: int = 37,
+    **overrides,
+) -> ScenarioBuilder:
+    """Association churn: heavy shadowing plus periodic handoffs.
+
+    Stations start on the nearest AP, but with 9 dB link shadowing the
+    strongest beacon is often a different one; the roaming manager then
+    keeps moving users as scans fire — Figure 4(b)'s shifting
+    association counts, plus the reassociation management traffic the
+    sniffers record.
+    """
+    config = roaming_storm_config(
+        n_stations=n_stations, duration_s=duration_s, seed=seed
+    )
+    return ScenarioBuilder(config).configure(**overrides)

@@ -92,6 +92,14 @@ class Medium:
         self._tx_counter = 0
         self._tx_ids: dict[int, Transmission] = {}
         self.frames_transmitted = 0
+        #: per-channel transmission counts — always maintained (O(channels)
+        #: memory), so infrastructure like the channel manager can measure
+        #: load without the unbounded ground-truth buffer.
+        self.channel_tx_counts: dict[int, int] = {}
+        #: When False, the per-frame ground-truth buffer below stays empty
+        #: (streaming runs flip this off so day-long simulations hold no
+        #: full-run frame list; counters above keep working).
+        self.record_ground_truth = True
         #: every transmission ever put on the air: (start_us, frame).
         #: This is the simulator's ground truth, against which the
         #: sniffer capture model (and the paper's unrecorded-frame
@@ -153,7 +161,11 @@ class Medium:
         tx_id = self._tx_counter
         self._tx_ids[tx_id] = tx
         self.frames_transmitted += 1
-        self.ground_truth.append((now, frame))
+        self.channel_tx_counts[frame.channel] = (
+            self.channel_tx_counts.get(frame.channel, 0) + 1
+        )
+        if self.record_ground_truth:
+            self.ground_truth.append((now, frame))
 
         # Overlap bookkeeping with already-active transmissions.
         for other in self._active:

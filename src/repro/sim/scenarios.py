@@ -1,44 +1,45 @@
-"""Scenario builders: assembled networks that emit analyzable traces.
-Three families reproduce the paper's measurement settings at laptop
-scale (the scale substitution is documented in DESIGN.md §2):
+"""Scenario configs and runners: assembled networks that emit traces.
+Three config families reproduce the paper's measurement settings at
+laptop scale (the scale substitution is documented in DESIGN.md §2):
 
-* :func:`run_scenario` — one room, one or more AP/channel cells,
-  configurable traffic, rate adaptation and RTS/CTS population; the
-  general-purpose entry point.
+* :func:`run_scenario` / :func:`stream_scenario` — one room, one or
+  more AP/channel cells, configurable traffic, rate adaptation and
+  RTS/CTS population; the general-purpose entry points (buffered
+  result vs live bounded-memory chunk stream).
 * :func:`load_ramp_config` — offered load climbing over the run so the
   captured trace sweeps channel utilization across the paper's 30-99 %
   analysis range (the workload behind Figures 6-15).
 * :func:`ietf_day_config` / :func:`ietf_plenary_config` — scaled
   analogues of the two IETF data sets: three channels, multiple APs,
   station populations that rise and fall like the meeting schedule.
+
+The assembly itself lives in :mod:`repro.sim.builder`
+(:class:`~repro.sim.builder.ScenarioBuilder`); both runners here are
+thin conveniences over it, and custom topologies/populations/traffic
+programs compose through the builder directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 import numpy as np
 
-from ..frames import FrameType, NodeInfo, NodeRoster, Trace
+from ..frames import NodeRoster, Trace
 from .dcf import MacConfig
 from .engine import Simulator
 from .medium import Medium
 from .node import AccessPoint, Station
-from .phy import PhyModel
-from .propagation import PropagationModel
-from .rate_adaptation import make_rate_adaptation
-from .channel_manager import ChannelManager, ChannelManagerConfig
+from .builder import ScenarioBuilder, _DEFAULT_CHUNK_FRAMES, MAX_FRAME_AIRTIME_US
+from .channel_manager import ChannelManager
 from .roaming import RoamingManager
-from .sniffer import Sniffer, SnifferConfig, ground_truth_trace
-from .topology import place_aps, place_stations, sniffer_position
+from .sniffer import Sniffer, SnifferConfig
 from .traffic import (
     CONFERENCE_MIX,
     ConstantRate,
     LinearRamp,
     ModulatedRate,
-    PoissonSource,
     RateSchedule,
-    ScaledRate,
     SizeSampler,
     class_mixture,
 )
@@ -47,14 +48,11 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "run_scenario",
+    "stream_scenario",
     "load_ramp_config",
     "ietf_day_config",
     "ietf_plenary_config",
 ]
-
-
-#: Sniffer node ids start here (outside the station/AP id space).
-_SNIFFER_ID_BASE = 60_000
 
 
 @dataclass
@@ -144,223 +142,45 @@ class ScenarioResult:
 
     @property
     def capture_ratio(self) -> float:
-        """Fraction of transmitted frames the sniffers recorded."""
+        """Fraction of transmitted frames the sniffers recorded.
+
+        Guarded against zero-frame ground truth: a degenerate config
+        (e.g. zero offered load over a short run) reports 0.0 rather
+        than raising ``ZeroDivisionError``.
+        """
         total = len(self.ground_truth)
         return len(self.trace) / total if total else 0.0
 
 
-def _station_ra_kwargs(config: ScenarioConfig) -> dict:
-    """Station-side rate-adaptation kwargs.
-
-    SNR-based schemes measure the *downlink* (frames heard from the AP)
-    but transmit on the *uplink*; the AP typically runs hotter, so the
-    station oracle budgets the tx-power asymmetry as a margin.
-    """
-    kwargs = dict(config.rate_adaptation_kwargs)
-    if config.rate_algorithm == "snr" and "margin_db" not in kwargs:
-        kwargs["margin_db"] = max(
-            0.0, config.ap_tx_power_dbm - config.station_tx_power_dbm
-        )
-    return kwargs
-
-
 def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build the network described by ``config``, run it, collect traces."""
-    rng = np.random.default_rng(config.seed)
-    sim = Simulator()
-    propagation = PropagationModel(
-        exponent=config.path_loss_exponent,
-        shadowing_sigma_db=config.shadowing_sigma_db,
-        rng=np.random.default_rng(config.seed + 1),
-    )
-    phy = PhyModel()
-    medium = Medium(sim, propagation, phy, rng=np.random.default_rng(config.seed + 2))
+    """Build the network described by ``config``, run it, collect traces.
 
-    # --- access points: round-robin over channels, evenly placed -------
-    ap_positions = place_aps(config.n_aps, config.room_width_m, config.room_depth_m)
-    aps: list[AccessPoint] = []
-    for i, pos in enumerate(ap_positions):
-        aps.append(
-            AccessPoint.create(
-                sim=sim,
-                medium=medium,
-                phy=phy,
-                node_id=i + 1,
-                position=pos,
-                channel=config.channels[i % len(config.channels)],
-                rng=np.random.default_rng(config.seed + 10 + i),
-                rate_adaptation=make_rate_adaptation(
-                    config.rate_algorithm, **config.rate_adaptation_kwargs
-                ),
-                tx_power_dbm=config.ap_tx_power_dbm,
-                mac_config=config.mac_config,
-            )
-        )
+    Buffers the full capture and ground truth in memory; for day-long
+    runs feed :func:`stream_scenario` to the analysis pipeline instead.
+    """
+    return ScenarioBuilder(config).build().run()
 
-    # --- stations: placed on the floor, associated to the nearest AP ----
-    sta_positions = place_stations(
-        config.n_stations, config.room_width_m, config.room_depth_m, rng
-    )
-    n_rtscts = round(config.rtscts_fraction * config.n_stations)
-    n_obstructed = round(config.obstructed_fraction * config.n_stations)
-    # Which station indices are obstructed/RTS-CTS users: spread both
-    # populations over the index space so they are independent.
-    obstructed = set(
-        rng.choice(config.n_stations, size=n_obstructed, replace=False).tolist()
-    )
-    stations: list[Station] = []
-    for j, pos in enumerate(sta_positions):
-        nearest = min(aps, key=lambda ap: ap.mac.position.distance_to(pos))
-        node_id = config.n_aps + 1 + j
-        if j in obstructed:
-            # Calibrate extra loss so the *weaker* direction (usually
-            # the station uplink, lower tx power) lands in the
-            # configured SNR band; the stronger direction then sits a
-            # few dB above it.  Calibrating on the strong direction
-            # would leave the weak one below the band — undeliverable
-            # at any rate.
-            clean_rx = propagation.received_power_dbm(
-                min(config.station_tx_power_dbm, config.ap_tx_power_dbm),
-                nearest.mac.position,
-                pos,
-                tx_id=nearest.node_id,
-                rx_id=node_id,
-            )
-            clean_snr = clean_rx - propagation.noise_floor_dbm
-            lo, hi = config.obstructed_snr_band_db
-            target_snr = float(rng.uniform(lo, hi))
-            propagation.node_extra_loss_db[node_id] = max(
-                0.0, clean_snr - target_snr
-            )
-        station = Station.create(
-            sim=sim,
-            medium=medium,
-            phy=phy,
-            node_id=node_id,
-            position=pos,
-            channel=nearest.channel,
-            ap_id=nearest.node_id,
-            rng=np.random.default_rng(config.seed + 100 + j),
-            rate_adaptation=make_rate_adaptation(
-                config.rate_algorithm, **_station_ra_kwargs(config)
-            ),
-            uses_rtscts=j < n_rtscts,
-            tx_power_dbm=config.station_tx_power_dbm,
-            mac_config=config.mac_config,
-            power_control=config.power_control,
-        )
-        nearest.associate(station.node_id)
-        stations.append(station)
 
-    # Downlink routing indirection: sources look the serving AP up per
-    # packet, so roaming re-targets in-flight flows like a real
-    # distribution system.
-    downlink_router: dict[int, AccessPoint] = {
-        station.node_id: next(a for a in aps if a.node_id == station.ap_id)
-        for station in stations
-    }
+def stream_scenario(
+    config: ScenarioConfig,
+    chunk_frames: int = _DEFAULT_CHUNK_FRAMES,
+    window_s: float = 1.0,
+    drain_guard_us: int = MAX_FRAME_AIRTIME_US,
+) -> Iterator[Trace]:
+    """Run ``config`` live, yielding the merged sniffer capture as
+    bounded time-sorted chunks while the simulation advances.
 
-    def _downlink_enqueue_for(station_id: int):
-        def enqueue(dst, size, ftype):
-            return downlink_router[station_id].mac.enqueue(dst, size, ftype)
-
-        return enqueue
-
-    # --- traffic ------------------------------------------------------
-    for j, station in enumerate(stations):
-        sta_rng = np.random.default_rng(config.seed + 1000 + j)
-        if config.activity is not None:
-            start_us, end_us = config.activity(j, sta_rng)
-        else:
-            start_us, end_us = 0, config.duration_us
-        uplink, downlink = config.uplink, config.downlink
-        if j in obstructed and config.obstructed_load_factor != 1.0:
-            uplink = ScaledRate(uplink, config.obstructed_load_factor)
-            downlink = ScaledRate(downlink, config.obstructed_load_factor)
-        # Association management frame at activity start.
-        sim.schedule_at(
-            max(start_us, 0),
-            (lambda s=station: s.mac.enqueue(s.ap_id, 64, FrameType.MGMT)),
-        )
-        PoissonSource(
-            sim=sim,
-            enqueue=station.mac.enqueue,
-            dst=station.ap_id,
-            schedule=uplink,
-            sizes=config.size_mix,
-            rng=sta_rng,
-            start_us=start_us,
-            end_us=end_us,
-        )
-        PoissonSource(
-            sim=sim,
-            enqueue=_downlink_enqueue_for(station.node_id),
-            dst=station.node_id,
-            schedule=downlink,
-            sizes=config.size_mix,
-            rng=np.random.default_rng(config.seed + 2000 + j),
-            start_us=start_us,
-            end_us=end_us,
-        )
-
-    # --- infrastructure management --------------------------------------
-    channel_manager = (
-        ChannelManager(
-            sim=sim,
-            medium=medium,
-            aps=aps,
-            stations=stations,
-            channels=config.channels,
-        )
-        if config.channel_management
-        else None
-    )
-
-    roaming_manager = (
-        RoamingManager(
-            sim=sim,
-            propagation=propagation,
-            aps=aps,
-            stations=stations,
-            downlink_router=downlink_router,
-            ap_tx_power_dbm=config.ap_tx_power_dbm,
-        )
-        if config.roaming
-        else None
-    )
-
-    # --- sniffers: one per channel, centre of the room -------------------
-    sniffers: list[Sniffer] = []
-    centre = sniffer_position(config.room_width_m, config.room_depth_m)
-    for k, channel in enumerate(config.channels):
-        sniffers.append(
-            Sniffer(
-                sim=sim,
-                medium=medium,
-                node_id=_SNIFFER_ID_BASE + k,
-                position=centre,
-                channel=channel,
-                rng=np.random.default_rng(config.seed + 3000 + k),
-                config=config.sniffer_config,
-            )
-        )
-    sim.run_until(config.duration_us)
-    roster = NodeRoster(
-        [ap.info for ap in aps] + [station.info for station in stations]
-    )
-    trace = Trace.concatenate([s.to_trace() for s in sniffers])
-    return ScenarioResult(
-        trace=trace,
-        ground_truth=ground_truth_trace(medium),
-        roster=roster,
-        stations=stations,
-        aps=aps,
-        sniffers=sniffers,
-        medium=medium,
-        sim=sim,
-        config=config,
-        channel_manager=channel_manager,
-        roaming_manager=roaming_manager,
+    The concatenated chunks equal
+    ``run_scenario(config).trace.sorted_by_time()`` — the row order
+    every analysis works on — but no full-run trace (or per-frame
+    ground truth) is ever materialised: peak memory is one drain window
+    however long the session.  Feed the iterator straight to
+    :func:`repro.pipeline.run_all`.
+    """
+    yield from ScenarioBuilder(config).build().stream(
+        chunk_frames=chunk_frames,
+        window_s=window_s,
+        drain_guard_us=drain_guard_us,
     )
 
 

@@ -73,7 +73,9 @@ class Sniffer:
         self.decode_threshold_dbm = self.config.sensitivity_dbm
         self._recent: deque[int] = deque()
         self.hardware_drops = 0
-        # Row buffers, converted to a Trace at the end of a run.
+        self._captured_total = 0
+        # Row buffers, converted to a Trace at the end of a run — or
+        # drained incrementally (bounded memory) by a live stream.
         self._time: list[int] = []
         self._ftype: list[int] = []
         self._rate: list[int] = []
@@ -124,30 +126,78 @@ class Sniffer:
         self._retry.append(frame.retry)
         self._snr.append(snr_db)
         self._seq.append(frame.seq)
+        self._captured_total += 1
 
     # -- output --------------------------------------------------------
 
     @property
     def frames_captured(self) -> int:
+        """Total frames recorded over the run (drained or still buffered)."""
+        return self._captured_total
+
+    @property
+    def frames_buffered(self) -> int:
+        """Rows currently held in the buffer (shrinks as a stream drains)."""
         return len(self._time)
 
+    def _buffer_columns(self) -> dict[str, np.ndarray]:
+        return {
+            "time_us": np.array(self._time, dtype=np.int64),
+            "ftype": np.array(self._ftype, dtype=np.uint8),
+            "rate_code": np.array(self._rate, dtype=np.uint8),
+            "size": np.array(self._size, dtype=np.uint32),
+            "src": np.array(self._src, dtype=np.uint16),
+            "dst": np.array(self._dst, dtype=np.uint16),
+            "retry": np.array(self._retry, dtype=np.bool_),
+            "channel": np.full(len(self._time), self.channel, dtype=np.uint8),
+            "snr_db": np.array(self._snr, dtype=np.float32),
+            "seq": np.array(self._seq, dtype=np.uint16),
+        }
+
+    def _clear_buffer(self) -> None:
+        self._time, self._ftype, self._rate = [], [], []
+        self._size, self._src, self._dst = [], [], []
+        self._retry, self._snr, self._seq = [], [], []
+
     def to_trace(self) -> Trace:
-        """Materialise the capture buffer as a :class:`Trace`."""
-        n = len(self._time)
-        return Trace(
-            {
-                "time_us": np.array(self._time, dtype=np.int64),
-                "ftype": np.array(self._ftype, dtype=np.uint8),
-                "rate_code": np.array(self._rate, dtype=np.uint8),
-                "size": np.array(self._size, dtype=np.uint32),
-                "src": np.array(self._src, dtype=np.uint16),
-                "dst": np.array(self._dst, dtype=np.uint16),
-                "retry": np.array(self._retry, dtype=np.bool_),
-                "channel": np.full(n, self.channel, dtype=np.uint8),
-                "snr_db": np.array(self._snr, dtype=np.float32),
-                "seq": np.array(self._seq, dtype=np.uint16),
-            }
+        """Materialise the current capture buffer as a :class:`Trace`."""
+        return Trace(self._buffer_columns()).sorted_by_time()
+
+    def drain_trace(self, before_us: int | None = None) -> Trace:
+        """Remove and return buffered rows with ``time_us < before_us``.
+
+        The live-capture hook: a streaming scenario run drains each
+        sniffer once per simulated window, so buffers hold one window of
+        rows instead of the whole run.  Rows at or after the watermark
+        stay buffered for a later drain (a frame's timestamp is its
+        transmission *start*, so rows land slightly out of record order
+        and a too-eager cut would misorder the stream).  ``None`` drains
+        everything.  The returned trace is stably time-sorted, matching
+        the ordering :meth:`to_trace` would have produced over the full
+        run.
+        """
+        if before_us is None:
+            trace = self.to_trace()
+            self._clear_buffer()
+            return trace
+        cols = self._buffer_columns()
+        keep = cols["time_us"] >= before_us
+        drained = Trace(
+            {name: col[~keep] for name, col in cols.items()}
         ).sorted_by_time()
+        if keep.any():
+            self._time = cols["time_us"][keep].tolist()
+            self._ftype = cols["ftype"][keep].tolist()
+            self._rate = cols["rate_code"][keep].tolist()
+            self._size = cols["size"][keep].tolist()
+            self._src = cols["src"][keep].tolist()
+            self._dst = cols["dst"][keep].tolist()
+            self._retry = cols["retry"][keep].tolist()
+            self._snr = cols["snr_db"][keep].tolist()
+            self._seq = cols["seq"][keep].tolist()
+        else:
+            self._clear_buffer()
+        return drained
 
 
 def ground_truth_trace(medium: Medium) -> Trace:

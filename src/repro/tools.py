@@ -1,17 +1,22 @@
-"""Command-line interface: simulate, analyze and inspect traces.
+"""Command-line interface: simulate, analyze, sweep and inspect.
 
 Usage::
 
     python -m repro.tools simulate out.pcap --stations 10 --duration 20
     python -m repro.tools analyze capture.pcap
     python -m repro.tools analyze day.pcap plenary.pcap --workers 2
+    python -m repro.tools campaign --scenario ramp \\
+        --vary n_stations=10,20,40 --seeds 2 --workers 4
     python -m repro.tools info capture.pcap
 
 ``simulate`` runs a scenario and writes the sniffer capture as a real
 radiotap pcap; ``analyze`` streams one or more pcaps through the
 single-pass :mod:`repro.pipeline` and prints the rendered congestion
-report(s) — multiple captures are analyzed in parallel; ``info``
-prints the Table-1 style summary only.
+report(s) — multiple captures are analyzed in parallel; ``campaign``
+sweeps a parameter grid over a library scenario across a process pool
+(each cell streamed live through the pipeline, bounded memory) and
+prints/saves the campaign summary; ``info`` prints the Table-1 style
+summary only.
 """
 
 from __future__ import annotations
@@ -19,11 +24,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .campaign import ParameterGrid, render_campaign, run_campaign
 from .core import dataset_summary
 from .core.render import render_report
 from .pcap import read_trace, write_trace
 from .pipeline import DEFAULT_CHUNK_FRAMES, run_batch
-from .sim import ConstantRate, ScenarioConfig, run_scenario
+from .sim import ConstantRate, ScenarioConfig, available_scenarios, run_scenario
 from .viz import table
 
 __all__ = ["main", "build_parser"]
@@ -73,10 +79,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="frames per streaming chunk",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep a parameter grid over a library scenario in parallel",
+    )
+    campaign.add_argument(
+        "--scenario",
+        default="ramp",
+        help="library scenario name (see --list)",
+    )
+    campaign.add_argument(
+        "--vary",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep axis (repeatable), e.g. --vary n_stations=10,20,40",
+    )
+    campaign.add_argument(
+        "--fix",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter applied to every cell (repeatable)",
+    )
+    campaign.add_argument(
+        "--seeds", type=int, default=1, help="seeds per grid point"
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: pool size; 1 = serial)",
+    )
+    campaign.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=DEFAULT_CHUNK_FRAMES,
+        help="frames per streamed chunk inside each cell",
+    )
+    campaign.add_argument(
+        "--out", default=None, help="also write the summary to this path"
+    )
+    campaign.add_argument(
+        "--list",
+        action="store_true",
+        help="list library scenarios and exit",
+    )
+
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
 
     return parser
+
+
+def _parse_value(text: str):
+    """CLI parameter literal: int, float, bool or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignments(
+    entries: list[str], multi: bool
+) -> dict[str, object]:
+    """Parse ``KEY=VALUE`` / ``KEY=V1,V2,...`` command-line entries."""
+    out: dict[str, object] = {}
+    for entry in entries:
+        key, sep, rest = entry.partition("=")
+        key = key.strip()
+        if not sep or not key or not rest:
+            raise ValueError(f"expected KEY=VALUE, got {entry!r}")
+        if key in out:
+            raise ValueError(f"duplicate parameter {key!r}")
+        if multi:
+            out[key] = [_parse_value(v) for v in rest.split(",") if v != ""]
+        else:
+            out[key] = _parse_value(rest)
+    return out
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -141,6 +226,47 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if empty else 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.list:
+        print("\n".join(available_scenarios()))
+        return 0
+    if args.scenario not in available_scenarios():
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"available: {', '.join(available_scenarios())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_frames < 1:
+        print("--chunk-frames must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        axes = _parse_assignments(args.vary, multi=True)
+        fixed = _parse_assignments(args.fix, multi=False)
+        grid = ParameterGrid(
+            args.scenario, axes=axes, seeds=args.seeds, fixed=fixed
+        )
+        result = run_campaign(
+            grid, workers=args.workers, chunk_frames=args.chunk_frames
+        )
+    except (ValueError, TypeError) as error:
+        print(f"campaign error: {error}", file=sys.stderr)
+        return 2
+    text = render_campaign(result, title=f"Campaign [{args.scenario}]")
+    print(text, end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"summary written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     trace = read_trace(args.capture)
     summary = dataset_summary(trace, args.capture)
@@ -151,6 +277,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "campaign": _cmd_campaign,
     "info": _cmd_info,
 }
 

@@ -1,0 +1,71 @@
+"""Tests for campaign parameter grids."""
+
+import pytest
+
+from repro.campaign import CampaignCell, ParameterGrid
+
+
+class TestCampaignCell:
+    def test_name_is_stable_and_readable(self):
+        cell = CampaignCell(
+            scenario="ramp", params=(("n_stations", 20),), seed=3
+        )
+        assert cell.name == "ramp/n_stations=20/seed=3"
+
+    def test_kwargs_merge_seed(self):
+        cell = CampaignCell(
+            scenario="ramp", params=(("n_stations", 20),), seed=3
+        )
+        assert cell.kwargs == {"n_stations": 20, "seed": 3}
+
+    def test_seedless_cell(self):
+        cell = CampaignCell(scenario="day")
+        assert cell.name == "day"
+        assert cell.kwargs == {}
+
+    def test_picklable(self):
+        import pickle
+
+        cell = CampaignCell(scenario="ramp", params=(("x", 1.5),), seed=0)
+        assert pickle.loads(pickle.dumps(cell)) == cell
+
+
+class TestParameterGrid:
+    def test_cartesian_expansion(self):
+        grid = ParameterGrid(
+            "ramp",
+            axes={"n_stations": [10, 20], "rtscts_fraction": [0.0, 0.5]},
+            seeds=3,
+        )
+        cells = grid.cells()
+        assert len(grid) == len(cells) == 12
+        assert len({c.name for c in cells}) == 12
+        assert cells[0].params == (("n_stations", 10), ("rtscts_fraction", 0.0))
+        assert [c.seed for c in cells[:3]] == [0, 1, 2]
+
+    def test_explicit_seed_values(self):
+        grid = ParameterGrid("ramp", seeds=[7, 11])
+        assert grid.seed_values == (7, 11)
+        assert [c.seed for c in grid.cells()] == [7, 11]
+
+    def test_fixed_params_apply_everywhere(self):
+        grid = ParameterGrid(
+            "ramp",
+            axes={"n_stations": [10, 20]},
+            fixed={"duration_s": 5.0},
+        )
+        for cell in grid.cells():
+            assert ("duration_s", 5.0) in cell.params
+
+    def test_no_axes_is_one_cell_per_seed(self):
+        assert len(ParameterGrid("plenary", seeds=4)) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no values"):
+            ParameterGrid("ramp", axes={"n_stations": []})
+        with pytest.raises(ValueError, match="both an axis and fixed"):
+            ParameterGrid(
+                "ramp", axes={"x": [1]}, fixed={"x": 2}
+            )
+        with pytest.raises(ValueError, match="seed"):
+            ParameterGrid("ramp", seeds=0)

@@ -59,6 +59,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Capture summary" in out
 
+
     def test_analyze_empty_capture_fails(self, tmp_path, capsys):
         from repro.frames import Trace
         from repro.pcap import write_trace
@@ -104,3 +105,38 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCampaignCli:
+    def test_list_scenarios(self, capsys):
+        assert main(["campaign", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "ramp" in out and "hidden-terminal" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["campaign", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_vary_syntax_rejected(self, capsys):
+        rc = main(["campaign", "--vary", "n_stations"])
+        assert rc == 2
+        assert "campaign error" in capsys.readouterr().err
+
+    def test_small_grid_runs_and_writes_summary(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.txt"
+        rc = main(
+            [
+                "campaign",
+                "--scenario", "ramp",
+                "--vary", "n_stations=4,6",
+                "--fix", "duration_s=1.5",
+                "--workers", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "n_stations=4" in out
+        assert out_path.exists()
+        assert "utilization knee" in out_path.read_text()

@@ -1,18 +1,20 @@
-"""Doctest pass over the pipeline's docstrings.
+"""Doctest pass over pipeline/builder/campaign docstrings.
 
-The examples in ``repro.pipeline`` module docstrings are part of the
-documentation contract (README and ARCHITECTURE link to them); this
-keeps them executable.
+The examples in ``repro.pipeline``, ``repro.sim.builder`` and
+``repro.campaign`` docstrings are part of the documentation contract
+(README and ARCHITECTURE link to them); this keeps them executable.
 """
 
 import doctest
 
 import pytest
 
+import repro.campaign.grid
 import repro.pipeline.accumulate
 import repro.pipeline.executor
 import repro.pipeline.registry
 import repro.pipeline.stream
+import repro.sim.builder
 
 
 @pytest.mark.parametrize(
@@ -22,6 +24,8 @@ import repro.pipeline.stream
         repro.pipeline.executor,
         repro.pipeline.registry,
         repro.pipeline.stream,
+        repro.sim.builder,
+        repro.campaign.grid,
     ],
     ids=lambda m: m.__name__,
 )

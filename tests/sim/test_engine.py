@@ -102,3 +102,34 @@ class TestRunSemantics:
             sim.schedule_at(t, lambda: None)
         sim.run_until(10)
         assert sim.events_processed == 5
+
+    def test_run_all_drains_everything(self):
+        sim = Simulator()
+        fired = []
+        for t in (5, 1, 9):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run_all()
+        assert fired == [1, 5, 9]
+        assert sim.now_us == 9
+
+    def test_tombstones_do_not_count_against_safety_limit(self):
+        """Cancelled events are discarded for free in both loop modes."""
+        sim = Simulator()
+        fired = []
+        for t in range(10):
+            handle = sim.schedule_at(t, lambda t=t: fired.append(t))
+            if t % 2:
+                handle.cancel()
+        sim.run_all(safety_limit=5)  # 5 live events exactly: must not raise
+        assert fired == [0, 2, 4, 6, 8]
+
+    def test_run_until_then_run_all_continue_seamlessly(self):
+        """The shared drain helper keeps the two modes interleavable."""
+        sim = Simulator()
+        fired = []
+        for t in (10, 20, 30):
+            sim.schedule_at(t, lambda t=t: fired.append(t))
+        sim.run_until(15)
+        assert fired == [10]
+        sim.run_all()
+        assert fired == [10, 20, 30]

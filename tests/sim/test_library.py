@@ -1,0 +1,148 @@
+"""Tests for the named scenario library."""
+
+import numpy as np
+import pytest
+
+from repro.frames import FrameType
+from repro.sim import (
+    SCENARIO_LIBRARY,
+    available_scenarios,
+    build_scenario,
+    scenario_builder,
+    scenario_config,
+)
+
+
+class TestRegistry:
+    def test_expected_scenarios_present(self):
+        names = available_scenarios()
+        for expected in (
+            "ramp",
+            "day",
+            "plenary",
+            "hidden-terminal",
+            "hotspot-plenary",
+            "co-channel",
+            "roaming-storm",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_builder("no-such-scenario")
+
+    def test_factory_params_and_config_overrides_split(self):
+        config = scenario_config(
+            "ramp", n_stations=9, duration_s=12.0, room_width_m=50.0
+        )
+        assert config.n_stations == 9       # factory kwarg
+        assert config.duration_s == 12.0    # factory kwarg
+        assert config.room_width_m == 50.0  # ScenarioConfig override
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(TypeError):
+            scenario_config("ramp", bogus_field=1)
+
+    def test_every_entry_builds(self):
+        for name in available_scenarios():
+            built = build_scenario(name, n_stations=2, duration_s=1.0)
+            assert len(built.stations) == 2
+
+
+class TestHiddenTerminal:
+    def test_clusters_cannot_sense_each_other_but_reach_ap(self):
+        built = build_scenario("hidden-terminal", n_stations=4, duration_s=1.0)
+        prop = built.propagation
+        ap = built.aps[0]
+        # Stations alternate ends; station 0 and 1 sit on opposite sides.
+        left, right = built.stations[0], built.stations[1]
+        cross_rx = prop.received_power_dbm(
+            built.config.station_tx_power_dbm,
+            left.mac.position,
+            right.mac.position,
+            tx_id=left.node_id,
+            rx_id=right.node_id,
+        )
+        ap_rx = prop.received_power_dbm(
+            built.config.station_tx_power_dbm,
+            left.mac.position,
+            ap.mac.position,
+            tx_id=left.node_id,
+            rx_id=ap.node_id,
+        )
+        # Below the MAC carrier-sense threshold across the room, but
+        # comfortably decodable at the AP.
+        assert cross_rx < left.mac.sense_threshold_dbm
+        assert ap_rx > ap.mac.sense_threshold_dbm + 5.0
+
+    def test_geometry_overrides_reach_the_pinned_placement(self):
+        """Config overrides must apply before positions are pinned."""
+        built = build_scenario(
+            "hidden-terminal", n_stations=4, duration_s=1.0,
+            room_depth_m=24.0,
+        )
+        assert built.config.room_depth_m == 24.0
+        ys = [s.mac.position.y for s in built.stations]
+        # Stations spread over the full 24 m depth, not the default 8 m.
+        assert max(ys) > 8.0
+        assert built.sniffers[0].position.y == 12.0
+
+    def test_collisions_hurt_delivery_and_rtscts_recovers(self):
+        bare = build_scenario(
+            "hidden-terminal", n_stations=6, duration_s=6.0
+        ).run()
+        protected = build_scenario(
+            "hidden-terminal", n_stations=6, duration_s=6.0,
+            rtscts_fraction=1.0,
+        ).run()
+
+        def delivery(result):
+            stats = [s.mac.stats for s in result.stations]
+            attempts = sum(st.data_attempts for st in stats)
+            successes = sum(st.data_successes for st in stats)
+            return successes / attempts
+
+        assert delivery(bare) < 0.6          # hidden DATA collides hard
+        assert delivery(protected) > delivery(bare)
+
+
+class TestCoChannel:
+    def test_all_aps_share_one_channel(self):
+        built = build_scenario("co-channel", n_stations=4, duration_s=1.0)
+        assert {ap.channel for ap in built.aps} == {1}
+        assert len(built.aps) == 3
+        assert len(built.sniffers) == 1
+
+
+class TestRoamingStorm:
+    def test_roams_occur(self):
+        result = build_scenario(
+            "roaming-storm", n_stations=10, duration_s=12.0
+        ).run()
+        assert result.roaming_manager is not None
+        assert len(result.roaming_manager.roams) >= 1
+        # Reassociation management frames are on the air.
+        mgmt = result.ground_truth.only_type(FrameType.MGMT)
+        assert len(mgmt) >= len(result.roaming_manager.roams)
+
+
+class TestHotspotPlenary:
+    def test_stations_concentrate_at_foci(self):
+        built = build_scenario("hotspot-plenary", n_stations=30, duration_s=1.0)
+        config = built.config
+        xs = np.array([s.mac.position.x for s in built.stations])
+        ys = np.array([s.mac.position.y for s in built.stations])
+        foci = np.array(
+            [
+                (0.15 * config.room_width_m, 0.5 * config.room_depth_m),
+                (0.85 * config.room_width_m, 0.55 * config.room_depth_m),
+                (0.5 * config.room_width_m, 0.3 * config.room_depth_m),
+            ]
+        )
+        dist_to_nearest = np.min(
+            np.hypot(xs[:, None] - foci[:, 0], ys[:, None] - foci[:, 1]),
+            axis=1,
+        )
+        # A 4 m Gaussian spread keeps nearly everyone within ~3 sigma of
+        # a focus; a uniform scatter over a 40x25 room would not.
+        assert np.mean(dist_to_nearest) < 8.0

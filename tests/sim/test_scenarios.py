@@ -35,6 +35,26 @@ class TestConfigValidation:
             ScenarioConfig(**kwargs)
 
 
+class TestCaptureRatioGuard:
+    def test_zero_frame_ground_truth_reports_zero(self):
+        """Degenerate configs must report 0.0, not ZeroDivisionError."""
+        from repro.frames import NodeRoster, Trace
+        from repro.sim import ScenarioResult, Simulator
+
+        result = ScenarioResult(
+            trace=Trace.empty(),
+            ground_truth=Trace.empty(),
+            roster=NodeRoster(),
+            stations=[],
+            aps=[],
+            sniffers=[],
+            medium=None,
+            sim=Simulator(),
+            config=ScenarioConfig(),
+        )
+        assert result.capture_ratio == 0.0
+
+
 class TestRunScenario:
     def test_roster_and_traces(self, small_scenario):
         result = small_scenario

@@ -137,3 +137,64 @@ class TestGroundTruth:
             sim.run_until(sim.now_us + 3_000)
         sim.run_until(10_000_000)
         assert sniffer.frames_captured < len(ground_truth_trace(medium))
+
+    def test_recording_gate_keeps_counters_only(self):
+        """record_ground_truth=False: no frame list, counters intact."""
+        sim, medium, sniffer = _setup()
+        medium.record_ground_truth = False
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for _ in range(4):
+            medium.transmit(tx, _frame(1, 2, size=100), 15.0)
+            sim.run_until(sim.now_us + 5_000)
+        sim.run_until(1_000_000)
+        assert medium.ground_truth == []
+        assert medium.frames_transmitted == 4
+        assert medium.channel_tx_counts == {1: 4}
+
+
+class TestDrain:
+    def _capture_n(self, n, gap_us=5_000):
+        sim, medium, sniffer = _setup()
+        tx = RecordingListener(1, Position(0, 0))
+        medium.attach(tx)
+        for i in range(n):
+            medium.transmit(tx, _frame(1, 2, size=100 + i), 15.0)
+            sim.run_until(sim.now_us + gap_us)
+        sim.run_until(1_000_000)
+        return sniffer
+
+    def test_drain_all_empties_buffer_keeps_totals(self):
+        sniffer = self._capture_n(5)
+        full = sniffer.to_trace()
+        drained = sniffer.drain_trace()
+        assert drained == full
+        assert sniffer.frames_buffered == 0
+        assert sniffer.frames_captured == 5      # monotone total
+        assert len(sniffer.to_trace()) == 0
+
+    def test_partial_drain_splits_at_watermark(self):
+        sniffer = self._capture_n(5, gap_us=5_000)
+        full = sniffer.to_trace()
+        cut = int(full.time_us[2])  # strictly-before semantics
+        early = sniffer.drain_trace(before_us=cut)
+        assert list(early.time_us) == list(full.time_us[:2])
+        assert sniffer.frames_buffered == 3
+        late = sniffer.drain_trace()
+        assert list(late.time_us) == list(full.time_us[2:])
+        # Recombined, nothing lost and metadata intact.
+        assert list(early.size) + list(late.size) == list(full.size)
+
+    def test_drain_preserves_all_columns(self):
+        sniffer = self._capture_n(4)
+        full = sniffer.to_trace()
+        part1 = sniffer.drain_trace(before_us=int(full.time_us[2]))
+        part2 = sniffer.drain_trace()
+        from repro.frames import Trace
+
+        assert Trace.concatenate([part1, part2]) == full
+
+    def test_drain_empty_buffer(self):
+        sim, medium, sniffer = _setup()
+        assert len(sniffer.drain_trace()) == 0
+        assert len(sniffer.drain_trace(before_us=1_000)) == 0
