@@ -62,6 +62,22 @@ class CellResult:
     unrecorded_percent: float
     elapsed_s: float
     report: "CongestionReport | None" = None
+    #: Simulator event-loop diagnostics, surfaced in the summary table
+    #: (``events`` column) so wall-clock outliers are attributable to
+    #: event churn.
+    events_processed: int = 0
+    events_cancelled: int = 0
+
+    @property
+    def cell_frames_per_sec(self) -> float:
+        """Whole-cell throughput: frames simulated per wall-second of
+        the cell's *combined* simulate-and-analyze run.
+
+        Not comparable to ``BENCH_sim.json`` frames/sec, which times
+        trace generation alone — a cell's elapsed time includes the
+        full analysis pipeline consuming the stream.
+        """
+        return _safe_ratio(self.frames_transmitted, self.elapsed_s)
 
     @property
     def name(self) -> str:
@@ -84,6 +100,7 @@ class CellResult:
             "knee_util_%": round(self.peak_throughput_utilization, 1),
             "high_cong": round(self.high_congestion_fraction, 3),
             "capture_%": round(100.0 * self.capture_ratio, 1),
+            "events": self.events_processed,
             "wall_s": round(self.elapsed_s, 2),
         }
 
@@ -154,6 +171,8 @@ def _run_cell(job) -> CellResult:
         unrecorded_percent=float(headline.get("unrecorded_percent", 0.0)),
         elapsed_s=elapsed,
         report=report if options["keep_reports"] else None,
+        events_processed=built.sim.events_processed,
+        events_cancelled=built.sim.events_cancelled,
     )
 
 

@@ -450,6 +450,22 @@ class BuiltScenario:
         )
 
     @property
+    def perf_counters(self) -> dict[str, int]:
+        """Hot-path diagnostics: frame and event-loop counters.
+
+        ``events_cancelled`` tracks timeout churn (ACK/CTS timeouts
+        cancelled on success); the engine compacts the heap when such
+        tombstones would otherwise dominate it.  Benchmarks and campaign
+        cells report these so perf regressions are attributable.
+        """
+        return {
+            "frames_transmitted": self.medium.frames_transmitted,
+            "events_processed": self.sim.events_processed,
+            "events_cancelled": self.sim.events_cancelled,
+            "events_pending": self.sim.events_pending,
+        }
+
+    @property
     def delivery_ratio(self) -> float:
         """Aggregate DATA delivery ratio across every MAC in the network.
 

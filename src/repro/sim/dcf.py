@@ -123,7 +123,7 @@ class DcfMac:
         self.phy = phy
         self.node_id = node_id
         self.position = position
-        self.channel = channel
+        self._channel = channel
         self.rng = rng
         self.config = config or MacConfig()
         self.rate_adaptation = rate_adaptation or FixedRate(11.0)
@@ -131,6 +131,18 @@ class DcfMac:
         self.sense_threshold_dbm = sense_threshold_dbm
         self.power_control = power_control
         self.on_data_delivered = on_data_delivered
+        #: Overhearing a frame addressed elsewhere with no NAV field is a
+        #: provable no-op for this MAC (its rate adaptation ignores SNR
+        #: feedback and it runs no power control), so the medium may skip
+        #: the delivery callback entirely.  Recomputed nowhere: swapping
+        #: ``rate_adaptation``/``power_control`` mid-run is unsupported.
+        #: False when the adaptation scheme inherits the base class's
+        #: no-op SNR hook — reception then skips the dead call.
+        self._ra_wants_snr = (
+            type(self.rate_adaptation).on_feedback_snr
+            is not RateAdaptation.on_feedback_snr
+        )
+        self.overhear_noop = not self._ra_wants_snr and power_control is None
         #: Called with (dst, success) when an MSDU finishes: all
         #: fragments acknowledged (True) or dropped at the retry limit
         #: (False).  Closed-loop traffic sources hang off this.
@@ -138,6 +150,10 @@ class DcfMac:
         self.stats = MacStats()
 
         self._queue: deque[tuple[int, int, FrameType]] = deque()
+        #: Mirrors ``_state is CONTEND`` (maintained by the ``_state``
+        #: property).  The medium peeks it to skip busy/idle callbacks
+        #: whose own first statement would be the not-contending return.
+        self.in_contention = False
         self._state = _State.IDLE
         self._pending: _Pending | None = None
         self._cw = self.config.cw_min
@@ -154,7 +170,34 @@ class DcfMac:
         # so it must transmit anyway — this is precisely how DCF
         # collisions happen.
         self._transmit_despite_busy = False
+        # Hot-path constants (config and PHY are frozen after init).
+        cfg = self.config
+        self._sifs_us = cfg.sifs_us
+        self._difs_us = cfg.difs_us
+        self._slot_us = cfg.slot_us
+        self._cts_duration_us = phy.control_duration_us(FrameType.CTS)
+        self._ack_duration_us = phy.control_duration_us(FrameType.ACK)
         medium.attach(self)
+
+    @property
+    def _state(self) -> _State:
+        return self._state_value
+
+    @_state.setter
+    def _state(self, value: _State) -> None:
+        self._state_value = value
+        self.in_contention = value is _State.CONTEND
+
+    @property
+    def channel(self) -> int:
+        return self._channel
+
+    @channel.setter
+    def channel(self, value: int) -> None:
+        """Re-targeting a MAC's channel (roaming, channel management)
+        invalidates the medium's cached delivery plans."""
+        self._channel = value
+        self.medium.notify_topology_changed()
 
     # -- upper-layer interface -------------------------------------------
 
@@ -243,7 +286,7 @@ class DcfMac:
             return  # on_medium_idle will call us back
         if self._backoff_event is not None and self._backoff_event.pending:
             return  # already counting down
-        delay = self.config.difs_us + self._backoff_slots * self.config.slot_us
+        delay = self._difs_us + self._backoff_slots * self._slot_us
         self._resume_started_at = now
         self._backoff_event = self.sim.schedule_in(delay, self._backoff_done)
 
@@ -261,7 +304,7 @@ class DcfMac:
                 return
             self._backoff_event.cancel()
             elapsed = self.sim.now_us - (self._resume_started_at or 0)
-            slots_consumed = max(0, (elapsed - self.config.difs_us)) // self.config.slot_us
+            slots_consumed = max(0, (elapsed - self._difs_us)) // self._slot_us
             self._backoff_slots = max(0, self._backoff_slots - int(slots_consumed))
         self._backoff_event = None
 
@@ -330,7 +373,6 @@ class DcfMac:
         self._timeout_event = self.sim.schedule_in(timeout, self._handshake_timeout)
 
     def _send_data(self, pending: _Pending) -> None:
-        cfg = self.config
         frame = SimFrame(
             ftype=pending.ftype,
             src=self.node_id,
@@ -339,7 +381,7 @@ class DcfMac:
             rate_mbps=pending.rate_mbps,
             seq=pending.seq,
             retry=pending.retries > 0,
-            channel=self.channel,
+            channel=self._channel,
         )
         if pending.ftype == FrameType.DATA:
             self.stats.data_attempts += 1
@@ -353,9 +395,9 @@ class DcfMac:
             return
         timeout = (
             duration
-            + cfg.sifs_us
-            + self.phy.control_duration_us(FrameType.ACK)
-            + cfg.ack_timeout_margin_us
+            + self._sifs_us
+            + self._ack_duration_us
+            + self.config.ack_timeout_margin_us
         )
         self._state = _State.WAIT_ACK
         self._timeout_event = self.sim.schedule_in(timeout, self._ack_timeout)
@@ -460,7 +502,8 @@ class DcfMac:
 
     def on_frame_received(self, frame: SimFrame, snr_db: float) -> None:
         """Medium callback: a frame decoded successfully at this node."""
-        self.rate_adaptation.on_feedback_snr(frame.src, snr_db)
+        if self._ra_wants_snr:
+            self.rate_adaptation.on_feedback_snr(frame.src, snr_db)
         if self.power_control is not None:
             self.power_control.on_feedback_snr(frame.src, snr_db)
 
@@ -512,11 +555,11 @@ class DcfMac:
             dst=dst,
             size=14,
             rate_mbps=BASIC_RATE_MBPS,
-            channel=self.channel,
+            channel=self._channel,
             nav_us=remaining_nav,
         )
         self.sim.schedule_in(
-            self.config.sifs_us,
+            self._sifs_us,
             lambda: self.medium.transmit(self, frame, self._power_toward(dst)),
         )
 

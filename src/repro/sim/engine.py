@@ -4,6 +4,11 @@ A minimal, fast event loop: integer-microsecond virtual clock, a binary
 heap of ``(time, sequence, callback)`` entries, and O(1) cancellation via
 tombstoning.  Ties break in scheduling order, which keeps runs
 deterministic for a fixed seed.
+
+Cancelled events do not linger: when tombstones outnumber live entries
+the heap is compacted in place, so cancel-heavy workloads (RTS/CTS
+handshakes cancel a timeout per delivered frame) keep the heap — and
+every subsequent push/pop — proportional to *pending* work.
 """
 
 from __future__ import annotations
@@ -13,21 +18,36 @@ from typing import Callable
 
 __all__ = ["EventHandle", "Simulator"]
 
+#: Compaction never triggers below this many tombstones — tiny heaps are
+#: cheap to scan anyway and rebuilding them would be pure overhead.
+_COMPACT_MIN_TOMBSTONES = 64
+
 
 class EventHandle:
     """Handle to a scheduled event; ``cancel()`` tombstones it."""
 
-    __slots__ = ("time_us", "callback", "cancelled")
+    __slots__ = ("time_us", "callback", "cancelled", "_sim")
 
-    def __init__(self, time_us: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time_us: int,
+        callback: Callable[[], None],
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time_us = time_us
         self.callback: Callable[[], None] | None = callback
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (safe to call repeatedly)."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -50,11 +70,23 @@ class Simulator:
         self._heap: list[tuple[int, int, EventHandle]] = []
         self._sequence = 0
         self._processed = 0
+        self._cancelled = 0
+        self._tombstones = 0  # cancelled entries still sitting in the heap
 
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (diagnostics)."""
         return self._processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of events cancelled before firing (diagnostics)."""
+        return self._cancelled
+
+    @property
+    def events_pending(self) -> int:
+        """Live (non-tombstoned) entries currently in the heap."""
+        return len(self._heap) - self._tombstones
 
     def schedule_at(self, time_us: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time_us``."""
@@ -63,16 +95,43 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time_us} < now {self.now_us}"
             )
-        handle = EventHandle(time_us, callback)
+        handle = EventHandle(time_us, callback, self)
         self._sequence += 1
         heapq.heappush(self._heap, (time_us, self._sequence, handle))
         return handle
 
     def schedule_in(self, delay_us: int, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` after a relative delay."""
+        """Schedule ``callback`` after a relative delay.
+
+        Inlined push (a non-negative delay can never land in the past):
+        this is the hottest scheduling call in the simulator.
+        """
         if delay_us < 0:
             raise ValueError(f"delay must be non-negative, got {delay_us}")
-        return self.schedule_at(self.now_us + int(delay_us), callback)
+        time_us = self.now_us + int(delay_us)
+        handle = EventHandle(time_us, callback, self)
+        self._sequence += 1
+        heapq.heappush(self._heap, (time_us, self._sequence, handle))
+        return handle
+
+    def _note_cancel(self) -> None:
+        """A pending handle was tombstoned; compact when they dominate.
+
+        Compaction rewrites the heap *in place* (slice assignment), so a
+        ``_drain`` loop holding a reference to the list keeps working.
+        Pending entries keep their ``(time, sequence)`` keys, so firing
+        order is untouched.
+        """
+        self._cancelled += 1
+        self._tombstones += 1
+        heap = self._heap
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(heap)
+        ):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._tombstones = 0
 
     def _drain(self, end_us: int | None, safety_limit: int | None) -> None:
         """Pop-and-fire loop shared by :meth:`run_until` and :meth:`run_all`.
@@ -81,17 +140,19 @@ class Simulator:
         against ``safety_limit``; ``end_us=None`` means no time bound.
         """
         heap = self._heap
+        heappop = heapq.heappop
         executed = 0
         while heap and (end_us is None or heap[0][0] <= end_us):
-            time_us, _, handle = heapq.heappop(heap)
+            time_us, _, handle = heappop(heap)
             if handle.cancelled:
+                self._tombstones -= 1
                 continue
             executed += 1
             if safety_limit is not None and executed > safety_limit:
                 raise RuntimeError("event limit exceeded; runaway simulation?")
             self.now_us = time_us
             callback = handle.callback
-            handle.cancelled = True  # one-shot
+            handle.cancelled = True  # one-shot; not a tombstone (already popped)
             self._processed += 1
             callback()  # type: ignore[misc]
 

@@ -14,10 +14,35 @@ The medium connects transceiver entities (MACs, sniffers) on a channel:
   the channel (not only the addressee) gets ``on_frame_received`` when it
   decodes the frame — MACs use overheard frames for NAV, sniffers for
   capture.
+
+Hot path
+--------
+Positions, thresholds and (between explicit topology changes) channels
+are static for a run, so per-transmitter **delivery plans** are cached:
+one pass over all listeners per ``(sender, tx power, channel)`` computes
+who is *audible* (above carrier-sense threshold) and who is *decodable*
+(above decode floor), and every later frame from that transmitter walks
+only those listeners — O(audible) Python work per frame instead of
+O(attached).  Each plan entry carries the static link SNR and lazily
+caches the PHY success probability per rate/frame type, collapsing the
+per-reception erfc/log1p/exp chain to one ``math.exp``.  The arithmetic
+is kept expression-for-expression identical to the uncached path, so
+optimized runs emit byte-identical traces (enforced by
+``tests/sim/test_determinism_golden.py``).
+
+Plans are invalidated by ``notify_topology_changed()`` — called
+automatically when a :class:`~repro.sim.dcf.DcfMac` channel is
+re-targeted (roaming, channel management) or a listener attaches.
+Transmissions in flight across an invalidation finish on a dynamic
+fallback that re-reads listener channels exactly like the uncached
+loop.  Purely passive listeners (sniffers) declare ``medium_passive``
+and skip carrier-sense bookkeeping entirely: nothing ever queries a
+sniffer's busy state.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -25,13 +50,13 @@ import numpy as np
 
 from ..frames import FrameType
 from .engine import Simulator
-from .phy import PhyModel
+from .phy import BASIC_RATE_MBPS, PhyModel
 from .propagation import Position, PropagationModel
 
 __all__ = ["SimFrame", "MediumListener", "Medium", "Transmission"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SimFrame:
     """A frame in flight inside the simulator."""
 
@@ -48,7 +73,14 @@ class SimFrame:
 
 
 class MediumListener(Protocol):
-    """What the medium needs from an attached entity."""
+    """What the medium needs from an attached entity.
+
+    Optional attributes refine the fast path: ``decode_threshold_dbm``
+    (decode gate; defaults to just above the noise floor),
+    ``medium_passive`` (never consults carrier sense — sniffers), and
+    ``overhear_noop`` (receiving a frame addressed elsewhere with no NAV
+    is a provable no-op, so delivery can be skipped).
+    """
 
     node_id: int
     position: Position
@@ -60,9 +92,14 @@ class MediumListener(Protocol):
     def on_frame_received(self, frame: SimFrame, snr_db: float) -> None: ...
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class Transmission:
-    """One ongoing transmission and its interference bookkeeping."""
+    """One ongoing transmission and its interference bookkeeping.
+
+    Identity equality (``eq=False``): transmissions are unique live
+    objects — the active-list bookkeeping must never confuse two
+    field-identical frames in flight.
+    """
 
     frame: SimFrame
     tx: "MediumListener"
@@ -70,6 +107,11 @@ class Transmission:
     start_us: int
     end_us: int
     overlapped: list["Transmission"] = field(default_factory=list)
+    #: delivery-plan entries captured at transmit time (fast path), and
+    #: the plan epoch they belong to — a mismatch at finish time means
+    #: the topology changed mid-flight and the dynamic path takes over.
+    plan: list | None = None
+    plan_epoch: int = -1
 
 
 class Medium:
@@ -108,6 +150,28 @@ class Medium:
         # Positions are static for a run, so per-(tx, rx) received power
         # is cached; this is the simulation hot path.
         self._power_cache: dict[tuple[int, int, float], float] = {}
+        # Delivery plans: (id(sender), tx_power, channel) -> (sender,
+        # finish_entries, transmit_entries).  Cleared wholesale on any
+        # topology change; the epoch stamps in-flight transmissions.
+        self._plans: dict[tuple[int, float, int], tuple] = {}
+        self._plan_epoch = 0
+        # On-air duration per (ftype, size, rate): small key space, hit
+        # on every transmit.
+        self._duration_cache: dict[tuple[FrameType, int, float], int] = {}
+        # Interference helpers: per-link received power in mW (pure
+        # 10**(dBm/10) of the cached dBm), and success probabilities for
+        # collision SINRs, which repeat whenever the same link pair
+        # collides.  The collision cache is bounded: distinct overlap
+        # sets are combinatorial in principle, so it is cleared (a pure
+        # perf event, never a semantic one) if it ever balloons.
+        self._power_mw_cache: dict[tuple[int, int, float], float] = {}
+        # Separate dicts: data keys (snr, rate) and control keys
+        # (snr, FrameType) could otherwise compare equal (IntEnum).
+        self._collision_terms: dict[tuple, tuple[float, float]] = {}
+        self._collision_ctrl_p: dict[tuple, float] = {}
+        # The constant factor of PropagationModel.snr_db, precomputed so
+        # the collision path can inline the SINR formula.
+        self._noise_mw = 10.0 ** (propagation.noise_floor_dbm / 10.0)
 
     # -- attachment --------------------------------------------------------
 
@@ -115,26 +179,108 @@ class Medium:
         """Register an entity to sense and receive on its channel."""
         self._listeners.append(listener)
         self._sensed[id(listener)] = set()
+        self.notify_topology_changed()
+
+    def notify_topology_changed(self) -> None:
+        """Invalidate cached delivery plans (channel/attachment change).
+
+        Cheap to call; plans rebuild lazily on the next transmission.
+        Frames already in the air fall back to the dynamic delivery loop
+        at their end-of-transmission.
+        """
+        self._plans.clear()
+        self._plan_epoch += 1
 
     def is_idle(self, listener: MediumListener) -> bool:
         """Energy carrier sense: nothing audible is on the air."""
         return not self._sensed[id(listener)]
 
-    # -- transmission --------------------------------------------------------
+    # -- link power --------------------------------------------------------
 
-    def _rx_power_dbm(self, tx: Transmission, listener: MediumListener) -> float:
-        key = (tx.tx.node_id, listener.node_id, tx.tx_power_dbm)
+    def _link_power_dbm(
+        self, tx_entity: MediumListener, tx_power_dbm: float, listener: MediumListener
+    ) -> float:
+        key = (tx_entity.node_id, listener.node_id, tx_power_dbm)
         power = self._power_cache.get(key)
         if power is None:
             power = self.propagation.received_power_dbm(
-                tx.tx_power_dbm,
-                tx.tx.position,
+                tx_power_dbm,
+                tx_entity.position,
                 listener.position,
-                tx_id=tx.tx.node_id,
+                tx_id=tx_entity.node_id,
                 rx_id=listener.node_id,
             )
             self._power_cache[key] = power
         return power
+
+    def _rx_power_dbm(self, tx: Transmission, listener: MediumListener) -> float:
+        return self._link_power_dbm(tx.tx, tx.tx_power_dbm, listener)
+
+    # -- delivery plans ----------------------------------------------------
+
+    def _build_plan(
+        self, sender: MediumListener, tx_power_dbm: float, channel: int
+    ) -> tuple:
+        """One full pass over the listeners for this (sender, power, channel).
+
+        Iterates in attach order computing link powers exactly like the
+        dynamic loop, so lazily-drawn link shadowing consumes the
+        propagation RNG in the identical order, then keeps only the
+        listeners that can sense or decode this transmitter.
+
+        Returns ``(sender, finish_entries, transmit_entries, n_draws,
+        mw_by_listener)`` where ``n_draws`` is the decodable-listener
+        count — the number of medium-RNG doubles every delivery of this
+        plan consumes — and ``mw_by_listener`` maps ``id(listener)`` to
+        this transmitter's signal power in mW there (the interference
+        contribution when this transmission overlaps another).
+        Listeners exposing an ``in_contention`` flag (DCF MACs) become
+        the *gate* of their own busy/idle callbacks: the medium skips
+        the call when the MAC is not contending, which is exactly the
+        callback's own first early-return.
+        """
+        propagation = self.propagation
+        decode_default = propagation.noise_floor_dbm + 1.0
+        finish_entries = []
+        transmit_entries = []
+        mw_by_listener: dict[int, float] = {}
+        n_draws = 0
+        for listener in self._listeners:
+            if listener is sender or listener.channel != channel:
+                continue
+            power = self._link_power_dbm(sender, tx_power_dbm, listener)
+            audible = power >= listener.sense_threshold_dbm
+            decode_floor = getattr(listener, "decode_threshold_dbm", decode_default)
+            decodable = power >= decode_floor
+            if not audible and not decodable:
+                continue
+            passive = getattr(listener, "medium_passive", False)
+            sensed = None if passive else self._sensed[id(listener)]
+            gate = listener if hasattr(listener, "in_contention") else None
+            if decodable:
+                n_draws += 1
+            entry = (
+                listener,
+                power,
+                propagation.snr_db(power, 0.0),      # interference-free SNR
+                sensed,
+                decodable,
+                listener.on_frame_received,
+                listener.on_medium_idle,
+                gate,
+                listener.node_id,
+                getattr(listener, "overhear_noop", False),
+                {},  # rate -> (log1p(-ber_header), log1p(-ber_body))
+                {},  # control ftype -> success probability
+                10.0 ** (power / 10.0),              # signal power in mW
+            )
+            finish_entries.append(entry)
+            mw_by_listener[id(listener)] = entry[-1]
+            if audible and not passive:
+                transmit_entries.append((sensed, gate, listener.on_medium_busy))
+        return (sender, finish_entries, transmit_entries, n_draws, mw_by_listener)
+
+    # -- transmission --------------------------------------------------------
 
     def transmit(
         self, sender: MediumListener, frame: SimFrame, tx_power_dbm: float
@@ -147,9 +293,14 @@ class Medium:
         """
         now = self.sim.now_us
         if frame.duration_us <= 0:
-            frame.duration_us = self.phy.frame_duration_us(
-                frame.ftype, frame.size, frame.rate_mbps
-            )
+            dkey = (frame.ftype, frame.size, frame.rate_mbps)
+            duration = self._duration_cache.get(dkey)
+            if duration is None:
+                duration = self.phy.frame_duration_us(
+                    frame.ftype, frame.size, frame.rate_mbps
+                )
+                self._duration_cache[dkey] = duration
+            frame.duration_us = duration
         tx = Transmission(
             frame=frame,
             tx=sender,
@@ -161,29 +312,41 @@ class Medium:
         tx_id = self._tx_counter
         self._tx_ids[tx_id] = tx
         self.frames_transmitted += 1
-        self.channel_tx_counts[frame.channel] = (
-            self.channel_tx_counts.get(frame.channel, 0) + 1
-        )
+        channel = frame.channel
+        counts = self.channel_tx_counts
+        counts[channel] = counts.get(channel, 0) + 1
         if self.record_ground_truth:
             self.ground_truth.append((now, frame))
 
         # Overlap bookkeeping with already-active transmissions.
+        tx_overlapped = tx.overlapped
         for other in self._active:
             other.overlapped.append(tx)
-            tx.overlapped.append(other)
+            tx_overlapped.append(other)
         self._active.append(tx)
 
-        # Busy transitions at every listener that can hear this.
-        for listener in self._listeners:
-            if listener is sender or listener.channel != frame.channel:
-                continue
-            power = self._rx_power_dbm(tx, listener)
-            if power >= listener.sense_threshold_dbm:
-                sensed = self._sensed[id(listener)]
-                was_idle = not sensed
-                sensed.add(tx_id)
-                if was_idle:
-                    listener.on_medium_busy()
+        key = (id(sender), tx_power_dbm, channel)
+        plan = self._plans.get(key)
+        if plan is None or plan[0] is not sender:
+            # Defensive bound: continuous TPC adaptation mints a fresh
+            # power (and hence plan key) per transmission; clearing is a
+            # pure perf event — in-flight transmissions keep their plan
+            # references and the epoch is untouched.
+            if len(self._plans) >= 4096:
+                self._plans.clear()
+            plan = self._build_plan(sender, tx_power_dbm, channel)
+            self._plans[key] = plan
+        tx.plan = plan
+        tx.plan_epoch = self._plan_epoch
+
+        # Busy transitions at every listener that can hear this.  The
+        # gate is the callback's own not-contending early-return, peeked
+        # so idle MACs cost an attribute load instead of a call.
+        for sensed, gate, on_busy in plan[2]:
+            was_idle = not sensed
+            sensed.add(tx_id)
+            if was_idle and (gate is None or gate.in_contention):
+                on_busy()
 
         self.sim.schedule_at(tx.end_us, lambda: self._finish(tx_id))
         return tx
@@ -191,8 +354,175 @@ class Medium:
     def _finish(self, tx_id: int) -> None:
         tx = self._tx_ids.pop(tx_id)
         self._active.remove(tx)
-        frame = tx.frame
+        plan = tx.plan
+        if plan is None or tx.plan_epoch != self._plan_epoch:
+            self._finish_dynamic(tx, tx_id)
+            return
 
+        frame = tx.frame
+        ftype = frame.ftype
+        is_data = ftype is FrameType.DATA or ftype is FrameType.MGMT
+        if is_data:
+            body_bits = 8 * (self.phy.timing.mac_overhead_bytes + frame.size)
+        else:
+            body_bits = 0
+        rate = frame.rate_mbps
+        dst = frame.dst
+        nav = frame.nav_us
+        channel = frame.channel
+        # Only same-channel overlaps interfere; prefilter once per
+        # frame instead of once per (listener, overlap) pair.
+        overlapped = tx.overlapped
+        interferers = (
+            [o for o in overlapped if o.frame.channel == channel]
+            if overlapped
+            else ()
+        )
+        # One vectorized draw for the whole delivery: the plan's
+        # decodable count is exactly how many doubles the sequential
+        # loop would consume, and numpy's Generator produces the
+        # identical sequence for vector and scalar draws.  No callback
+        # below touches the medium RNG, so order is preserved.
+        n_draws = plan[3]
+        draws = self.rng.random(n_draws).tolist() if n_draws else ()
+        draw_index = 0
+        exp = math.exp
+        log10 = math.log10
+        noise_mw = self._noise_mw
+        link_power_mw = self._link_power_mw
+        collision_terms = self._collision_terms
+        collision_ctrl_p = self._collision_ctrl_p
+
+        for (listener, power, snr0, sensed, decodable,
+             recv_cb, idle_cb, gate, node_id, noop,
+             data_terms, ctrl_p, sig_mw) in plan[1]:
+            # Idle transition first, so receive callbacks observe the
+            # post-frame medium state (they often start SIFS responses).
+            if sensed is not None and tx_id in sensed:
+                sensed.discard(tx_id)
+                if not sensed and (gate is None or gate.in_contention):
+                    idle_cb()
+            if not decodable:
+                continue  # inaudible: cannot decode
+            snr_db = snr0
+            collided = False
+            if interferers:
+                interference_mw = 0.0
+                lid = id(listener)
+                for other in interferers:
+                    # The interferer's own plan already knows its signal
+                    # power at this listener; fall back to the link
+                    # cache for listeners outside that plan.
+                    other_plan = other.plan
+                    mw = other_plan[4].get(lid) if other_plan else None
+                    if mw is None:
+                        mw = link_power_mw(other.tx, other.tx_power_dbm, listener)
+                    interference_mw += mw
+                if interference_mw:
+                    collided = True
+                    # PropagationModel.snr_db inlined with the entry's
+                    # precomputed signal mW — identical arithmetic.
+                    snr_db = 10.0 * log10(sig_mw / (noise_mw + interference_mw))
+                    if is_data:
+                        terms = collision_terms.get((snr_db, rate))
+                        if terms is None:
+                            terms = self._collision_data_terms(snr_db, rate)
+                        p = exp(48 * terms[0] + (body_bits * terms[1]))
+                    else:
+                        p = collision_ctrl_p.get((snr_db, ftype))
+                        if p is None:
+                            p = self._collision_control_p(snr_db, ftype)
+            if not collided:
+                if is_data:
+                    terms = data_terms.get(rate)
+                    if terms is None:
+                        terms = self._data_terms(data_terms, snr0, rate)
+                    # 48 header bits at the basic rate, body at the data
+                    # rate; term-for-term the PHY's expression, so the
+                    # probability is bit-identical to the uncached path.
+                    p = exp(48 * terms[0] + (body_bits * terms[1]))
+                else:
+                    p = ctrl_p.get(ftype)
+                    if p is None:
+                        p = self.phy.control_success_probability(snr0, ftype)
+                        ctrl_p[ftype] = p
+            draw = draws[draw_index]
+            draw_index += 1
+            if draw < p:
+                # Deliver unless provably a no-op at the receiver (frame
+                # addressed elsewhere, no NAV to set, and the listener
+                # declared overhearing side-effect-free).
+                if dst == node_id or nav > 0 or not noop:
+                    recv_cb(frame, snr_db)
+
+    def _data_terms(
+        self, store: dict, snr_db: float, rate: float, key=None
+    ) -> tuple[float, float]:
+        """``log1p(-BER)`` factors for one (SNR, rate) — identical floats.
+
+        Computed once via the PHY model; recombining them per frame
+        repeats the exact expression
+        :meth:`~repro.sim.phy.PhyModel.frame_success_probability` uses,
+        so probabilities (and hence RNG outcomes) are bit-identical to
+        the uncached path.
+        """
+        phy = self.phy
+        ber_header = phy.bit_error_rate(snr_db, BASIC_RATE_MBPS)
+        ber_body = phy.bit_error_rate(snr_db, rate)
+        terms = (
+            math.log1p(-min(ber_header, 1 - 1e-12)),
+            math.log1p(-min(ber_body, 1 - 1e-12)),
+        )
+        store[rate if key is None else key] = terms
+        return terms
+
+    def _link_power_mw(
+        self, tx_entity: MediumListener, tx_power_dbm: float, listener: MediumListener
+    ) -> float:
+        """Cached ``10 ** (link dBm / 10)`` for interference summing.
+
+        Bounded like the collision caches: TPC mints fresh power keys
+        continuously, and clearing only recomputes pure arithmetic
+        (link shadowing lives in the propagation model's own cache).
+        """
+        key = (tx_entity.node_id, listener.node_id, tx_power_dbm)
+        mw = self._power_mw_cache.get(key)
+        if mw is None:
+            if len(self._power_mw_cache) >= 200_000:
+                self._power_mw_cache.clear()
+            mw = 10.0 ** (self._link_power_dbm(tx_entity, tx_power_dbm, listener) / 10.0)
+            self._power_mw_cache[key] = mw
+        return mw
+
+    # Collision SINRs repeat (the same link pairs collide over and over)
+    # even though data frame sizes do not, so the collision caches hold
+    # per-(SINR, rate) log1p(-BER) factors and per-(SINR, ftype) control
+    # probabilities; _finish folds the frame size in via the PHY's exact
+    # expression.  Both caches are bounded defensively: clearing an
+    # overfull cache can never change results, only recompute them.
+
+    def _collision_data_terms(self, snr_db: float, rate: float) -> tuple[float, float]:
+        cache = self._collision_terms
+        if len(cache) >= 200_000:
+            cache.clear()
+        return self._data_terms(cache, snr_db, rate, key=(snr_db, rate))
+
+    def _collision_control_p(self, snr_db: float, ftype: FrameType) -> float:
+        cache = self._collision_ctrl_p
+        if len(cache) >= 200_000:
+            cache.clear()
+        p = self.phy.control_success_probability(snr_db, ftype)
+        cache[(snr_db, ftype)] = p
+        return p
+
+    def _finish_dynamic(self, tx: Transmission, tx_id: int) -> None:
+        """Delivery for frames whose plan was invalidated mid-flight.
+
+        Re-reads listener channels at finish time — the exact uncached
+        behaviour, preserved for transmissions that straddle a roam or
+        channel switch.
+        """
+        frame = tx.frame
         for listener in self._listeners:
             if listener is tx.tx or listener.channel != frame.channel:
                 continue

@@ -13,6 +13,13 @@ reasons, all of which this model produces:
    grows linearly with the number of frames captured in the last 100 ms.
 3. **Hidden terminals** — transmitters below the sniffer's sensitivity
    are never heard at all (this falls out of the propagation model).
+
+Captured fields are appended straight into geometrically-grown
+preallocated numpy column buffers — no per-frame Python row objects —
+so ``to_trace``/``drain_trace`` assemble output from array slices
+instead of converting Python lists, and a draining stream compacts the
+columns in place.  Buffer capacity therefore tracks the *peak
+undrained* window, not the run length.
 """
 
 from __future__ import annotations
@@ -22,12 +29,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..frames import FrameType, Trace
+from ..frames import FrameType, Trace, rate_to_code
 from .engine import Simulator
 from .medium import Medium, SimFrame
 from .propagation import Position
 
 __all__ = ["SnifferConfig", "Sniffer", "ground_truth_trace"]
+
+#: Initial per-column buffer capacity; doubles when full.
+_INITIAL_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -47,8 +57,29 @@ class SnifferConfig:
     load_window_us: int = 100_000
 
 
+#: (attribute, trace column, dtype) for the captured column buffers,
+#: trace-schema order minus ``channel`` (constant per sniffer,
+#: synthesized on output) — see ``repro.frames.TRACE_SCHEMA``.
+_CAPTURE_COLUMNS = (
+    ("_time", "time_us", np.int64),
+    ("_ftype", "ftype", np.uint8),
+    ("_rate", "rate_code", np.uint8),
+    ("_size", "size", np.uint32),
+    ("_src", "src", np.uint16),
+    ("_dst", "dst", np.uint16),
+    ("_retry", "retry", np.bool_),
+    ("_snr", "snr_db", np.float32),
+    ("_seq", "seq", np.uint16),
+)
+
+
 class Sniffer:
     """Passive capture device; attach to a medium like any listener."""
+
+    #: Sniffers never consult carrier sense (``on_medium_busy``/``idle``
+    #: are no-ops and nothing queries their busy state), so the medium
+    #: skips their sense bookkeeping entirely.
+    medium_passive = True
 
     def __init__(
         self,
@@ -72,19 +103,19 @@ class Sniffer:
         # at -85 dBm but decode down to the noise floor).
         self.decode_threshold_dbm = self.config.sensitivity_dbm
         self._recent: deque[int] = deque()
+        # Hot-path copies of the frozen config's drop-model fields.
+        self._load_window_us = self.config.load_window_us
+        self._drop_floor = self.config.drop_floor
+        self._drop_per_frame = self.config.drop_per_frame
+        self._drop_ceiling = self.config.drop_ceiling
         self.hardware_drops = 0
         self._captured_total = 0
-        # Row buffers, converted to a Trace at the end of a run — or
-        # drained incrementally (bounded memory) by a live stream.
-        self._time: list[int] = []
-        self._ftype: list[int] = []
-        self._rate: list[int] = []
-        self._size: list[int] = []
-        self._src: list[int] = []
-        self._dst: list[int] = []
-        self._retry: list[bool] = []
-        self._snr: list[float] = []
-        self._seq: list[int] = []
+        # Columnar capture buffers: preallocated, geometrically grown,
+        # compacted in place by a draining stream.
+        self._n = 0
+        self._capacity = _INITIAL_CAPACITY
+        for attr, _, dtype in _CAPTURE_COLUMNS:
+            setattr(self, attr, np.empty(_INITIAL_CAPACITY, dtype=dtype))
         medium.attach(self)
 
     # -- medium listener interface (passive) ------------------------------
@@ -98,13 +129,13 @@ class Sniffer:
     def on_frame_received(self, frame: SimFrame, snr_db: float) -> None:
         """A frame decoded at the sniffer; apply the hardware-drop model."""
         now = self.sim.now_us
-        window_start = now - self.config.load_window_us
+        window_start = now - self._load_window_us
         recent = self._recent
         while recent and recent[0] < window_start:
             recent.popleft()
         p_drop = min(
-            self.config.drop_ceiling,
-            self.config.drop_floor + self.config.drop_per_frame * len(recent),
+            self._drop_ceiling,
+            self._drop_floor + self._drop_per_frame * len(recent),
         )
         recent.append(now)
         if self.rng.random() < p_drop:
@@ -113,20 +144,29 @@ class Sniffer:
         self._record(now, frame, snr_db)
 
     def _record(self, now: int, frame: SimFrame, snr_db: float) -> None:
-        from ..frames import rate_to_code
-
+        i = self._n
+        if i == self._capacity:
+            self._grow()
         # Timestamp the frame at its start of transmission, like a
         # capture card stamping the preamble.
-        self._time.append(now - frame.duration_us)
-        self._ftype.append(int(frame.ftype))
-        self._rate.append(rate_to_code(frame.rate_mbps))
-        self._size.append(frame.size)
-        self._src.append(frame.src)
-        self._dst.append(frame.dst)
-        self._retry.append(frame.retry)
-        self._snr.append(snr_db)
-        self._seq.append(frame.seq)
+        self._time[i] = now - frame.duration_us
+        self._ftype[i] = frame.ftype
+        self._rate[i] = rate_to_code(frame.rate_mbps)
+        self._size[i] = frame.size
+        self._src[i] = frame.src
+        self._dst[i] = frame.dst
+        self._retry[i] = frame.retry
+        self._snr[i] = snr_db
+        self._seq[i] = frame.seq
+        self._n = i + 1
         self._captured_total += 1
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for attr, _, dtype in _CAPTURE_COLUMNS:
+            grown = np.empty(self._capacity, dtype=dtype)
+            grown[: self._n] = getattr(self, attr)
+            setattr(self, attr, grown)
 
     # -- output --------------------------------------------------------
 
@@ -138,30 +178,38 @@ class Sniffer:
     @property
     def frames_buffered(self) -> int:
         """Rows currently held in the buffer (shrinks as a stream drains)."""
-        return len(self._time)
+        return self._n
 
-    def _buffer_columns(self) -> dict[str, np.ndarray]:
-        return {
-            "time_us": np.array(self._time, dtype=np.int64),
-            "ftype": np.array(self._ftype, dtype=np.uint8),
-            "rate_code": np.array(self._rate, dtype=np.uint8),
-            "size": np.array(self._size, dtype=np.uint32),
-            "src": np.array(self._src, dtype=np.uint16),
-            "dst": np.array(self._dst, dtype=np.uint16),
-            "retry": np.array(self._retry, dtype=np.bool_),
-            "channel": np.full(len(self._time), self.channel, dtype=np.uint8),
-            "snr_db": np.array(self._snr, dtype=np.float32),
-            "seq": np.array(self._seq, dtype=np.uint16),
-        }
+    @property
+    def buffer_capacity(self) -> int:
+        """Allocated rows per column (tracks the peak undrained window)."""
+        return self._capacity
 
-    def _clear_buffer(self) -> None:
-        self._time, self._ftype, self._rate = [], [], []
-        self._size, self._src, self._dst = [], [], []
-        self._retry, self._snr, self._seq = [], [], []
+    def _output_columns(self, mask: np.ndarray | None) -> dict[str, np.ndarray]:
+        """Trace columns for the selected buffered rows.
+
+        Output never aliases the live buffers: full slices are copied
+        explicitly, boolean-mask selection copies by construction.
+        """
+        n = self._n
+        if mask is None:
+            cols = {
+                name: getattr(self, attr)[:n].copy()
+                for attr, name, _ in _CAPTURE_COLUMNS
+            }
+            count = n
+        else:
+            cols = {
+                name: getattr(self, attr)[:n][mask]
+                for attr, name, _ in _CAPTURE_COLUMNS
+            }
+            count = int(mask.sum())
+        cols["channel"] = np.full(count, self.channel, dtype=np.uint8)
+        return cols
 
     def to_trace(self) -> Trace:
         """Materialise the current capture buffer as a :class:`Trace`."""
-        return Trace(self._buffer_columns()).sorted_by_time()
+        return Trace(self._output_columns(None)).sorted_by_time()
 
     def drain_trace(self, before_us: int | None = None) -> Trace:
         """Remove and return buffered rows with ``time_us < before_us``.
@@ -174,29 +222,22 @@ class Sniffer:
         and a too-eager cut would misorder the stream).  ``None`` drains
         everything.  The returned trace is stably time-sorted, matching
         the ordering :meth:`to_trace` would have produced over the full
-        run.
+        run.  Kept rows are compacted to the front of the column buffers
+        in place; no Python-object row conversion happens either way.
         """
+        n = self._n
         if before_us is None:
             trace = self.to_trace()
-            self._clear_buffer()
+            self._n = 0
             return trace
-        cols = self._buffer_columns()
-        keep = cols["time_us"] >= before_us
-        drained = Trace(
-            {name: col[~keep] for name, col in cols.items()}
-        ).sorted_by_time()
-        if keep.any():
-            self._time = cols["time_us"][keep].tolist()
-            self._ftype = cols["ftype"][keep].tolist()
-            self._rate = cols["rate_code"][keep].tolist()
-            self._size = cols["size"][keep].tolist()
-            self._src = cols["src"][keep].tolist()
-            self._dst = cols["dst"][keep].tolist()
-            self._retry = cols["retry"][keep].tolist()
-            self._snr = cols["snr_db"][keep].tolist()
-            self._seq = cols["seq"][keep].tolist()
-        else:
-            self._clear_buffer()
+        keep = self._time[:n] >= before_us
+        drained = Trace(self._output_columns(~keep)).sorted_by_time()
+        kept = int(keep.sum())
+        if kept:
+            for attr, _, _ in _CAPTURE_COLUMNS:
+                col = getattr(self, attr)
+                col[:kept] = col[:n][keep]
+        self._n = kept
         return drained
 
 
@@ -205,8 +246,6 @@ def ground_truth_trace(medium: Medium) -> Trace:
 
     SNR is not meaningful for ground truth and is recorded as 40 dB.
     """
-    from ..frames import rate_to_code
-
     records = medium.ground_truth
     n = len(records)
     time = np.empty(n, dtype=np.int64)

@@ -22,6 +22,8 @@ summary only.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 
 from .campaign import ParameterGrid, render_campaign, run_campaign
@@ -57,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--rtscts-fraction", type=float, default=0.0)
     simulate.add_argument("--obstructed-fraction", type=float, default=0.25)
+    simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-20 cumulative table after the run",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -125,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list library scenarios and exit",
     )
+    campaign.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a cProfile top-20 cumulative table after the sweep "
+        "(forces --workers 1 so cell work is visible to the profiler)",
+    )
 
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
@@ -164,6 +177,34 @@ def _parse_assignments(
     return out
 
 
+def _profiled(enabled: bool):
+    """Context manager: cProfile the body and print the top-20 table.
+
+    The evidence-gathering hook behind every perf PR: ``--profile`` on
+    the ``simulate``/``campaign`` subcommands shows exactly where the
+    simulator spends its time, cumulative-sorted.
+    """
+
+    class _Profiler:
+        def __enter__(self):
+            self.profile = cProfile.Profile() if enabled else None
+            if self.profile is not None:
+                self.profile.enable()
+            return self
+
+        def __exit__(self, exc_type, exc, tb):
+            # Print even when the body raised: a slow-then-crashed run
+            # is exactly when the profile is most wanted.
+            if self.profile is not None:
+                self.profile.disable()
+                print("\n-- cProfile: top 20 by cumulative time " + "-" * 24)
+                stats = pstats.Stats(self.profile, stream=sys.stdout)
+                stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+            return False
+
+    return _Profiler()
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = ScenarioConfig(
         n_stations=args.stations,
@@ -176,7 +217,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         rtscts_fraction=args.rtscts_fraction,
         obstructed_fraction=args.obstructed_fraction,
     )
-    result = run_scenario(config)
+    with _profiled(args.profile):
+        result = run_scenario(config)
     n = write_trace(result.trace, args.output)
     print(
         f"wrote {n} frames to {args.output} "
@@ -246,15 +288,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.chunk_frames < 1:
         print("--chunk-frames must be >= 1", file=sys.stderr)
         return 2
+    workers = args.workers
+    if args.profile and workers != 1:
+        print(
+            "--profile forces --workers 1 (a process pool would hide "
+            "cell work from the profiler)",
+            file=sys.stderr,
+        )
+        workers = 1
     try:
         axes = _parse_assignments(args.vary, multi=True)
         fixed = _parse_assignments(args.fix, multi=False)
         grid = ParameterGrid(
             args.scenario, axes=axes, seeds=args.seeds, fixed=fixed
         )
-        result = run_campaign(
-            grid, workers=args.workers, chunk_frames=args.chunk_frames
-        )
+        with _profiled(args.profile):
+            result = run_campaign(
+                grid, workers=workers, chunk_frames=args.chunk_frames
+            )
     except (ValueError, TypeError) as error:
         print(f"campaign error: {error}", file=sys.stderr)
         return 2

@@ -69,6 +69,42 @@ class TestRunCampaign:
 
         assert rows(serial) == rows(parallel)
 
+    def test_workers_one_vs_four_bit_identical(self):
+        """Full-precision cell results are identical for 1 vs 4 workers —
+        the simulator optimizations must not leak scheduling or RNG
+        state across cells or processes."""
+        grid = ParameterGrid(
+            "ramp",
+            axes={"n_stations": [4, 6]},
+            seeds=2,
+            fixed={"duration_s": 1.5},
+        )
+        serial = run_campaign(grid, workers=1)
+        parallel = run_campaign(grid, workers=4)
+        assert parallel.workers == 4
+        compared = (
+            "n_frames",
+            "frames_transmitted",
+            "offered_packets",
+            "events_processed",
+            "events_cancelled",
+            "duration_s",
+            "delivery_ratio",
+            "capture_ratio",
+            "mode_utilization",
+            "peak_throughput_mbps",
+            "peak_throughput_utilization",
+            "high_congestion_fraction",
+            "unrecorded_percent",
+        )
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.name == b.name
+            for field_name in compared:
+                assert getattr(a, field_name) == getattr(b, field_name), (
+                    a.name,
+                    field_name,
+                )
+
     def test_empty_campaign_rejected(self):
         with pytest.raises(ValueError, match="no cells"):
             run_campaign([], workers=1)

@@ -140,3 +140,40 @@ class TestCampaignCli:
         assert "n_stations=4" in out
         assert out_path.exists()
         assert "utilization knee" in out_path.read_text()
+
+
+class TestProfileFlag:
+    def test_simulate_profile_prints_cprofile_table(self, tmp_path, capsys):
+        from repro.tools import main
+
+        rc = main(
+            [
+                "simulate",
+                str(tmp_path / "prof.pcap"),
+                "--stations", "3",
+                "--duration", "1",
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cProfile: top 20 by cumulative time" in out
+        assert "cumtime" in out
+
+    def test_campaign_profile_forces_serial(self, capsys):
+        from repro.tools import main
+
+        rc = main(
+            [
+                "campaign",
+                "--scenario", "ramp",
+                "--vary", "n_stations=3",
+                "--fix", "duration_s=1.0",
+                "--workers", "4",
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "cProfile: top 20 by cumulative time" in captured.out
+        assert "forces --workers 1" in captured.err

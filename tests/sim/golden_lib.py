@@ -1,0 +1,135 @@
+"""Golden-trace fixtures: canonical configs and digests for determinism.
+
+The simulator hot-path work (audibility culling, cached delivery plans,
+columnar capture, traffic pre-generation) must not change a single
+emitted frame.  The enforcement is a set of *golden digests*: SHA-256
+over the raw column bytes of the capture and ground-truth traces for a
+spread of library scenarios and feature-exercising ad-hoc configs, all
+at fixed seeds.  The committed fixture ``golden_traces.json`` was
+generated from the pre-optimization simulator; any optimization that
+perturbs RNG draw order, event scheduling order or per-frame arithmetic
+shows up as a digest mismatch.
+
+Regenerate (only when a PR *deliberately* changes simulator physics)
+with::
+
+    PYTHONPATH=src python -m tests.sim.golden_lib
+
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.frames import TRACE_COLUMNS, Trace
+from repro.sim import ScenarioBuilder, ScenarioConfig, build_scenario
+from repro.sim.builder import BuiltScenario
+from repro.sim.dcf import MacConfig
+from repro.sim.traffic import ConstantRate
+
+FIXTURE_PATH = Path(__file__).with_name("golden_traces.json")
+
+
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over the raw bytes of every column, schema order."""
+    digest = hashlib.sha256()
+    for name in TRACE_COLUMNS:
+        digest.update(np.ascontiguousarray(getattr(trace, name)).tobytes())
+    return digest.hexdigest()
+
+
+def _channel_mgmt() -> BuiltScenario:
+    """Ad-hoc config exercising ChannelManager mid-run channel switches.
+
+    Stations pile into one corner so one channel carries most of the
+    load and the manager provably moves an AP during the run.
+    """
+    from repro.sim.builder import HotspotPlacement
+
+    return (
+        ScenarioBuilder(
+            ScenarioConfig(
+                n_stations=12,
+                n_aps=4,
+                channels=(1, 6),
+                duration_s=12.0,
+                seed=5,
+                channel_management=True,
+                uplink=ConstantRate(12.0),
+                downlink=ConstantRate(25.0),
+            )
+        )
+        .with_placement(HotspotPlacement(centres=((0.05, 0.1),), spread_m=3.0))
+        .build()
+    )
+
+
+def _tpc_frag() -> BuiltScenario:
+    """Ad-hoc config exercising TPC (per-destination tx power) and
+    fragmentation bursts plus a heavy RTS/CTS population."""
+    return ScenarioBuilder(
+        ScenarioConfig(
+            n_stations=8,
+            duration_s=6.0,
+            seed=9,
+            power_control=True,
+            mac_config=MacConfig(
+                fragmentation_threshold=600, rts_threshold=900
+            ),
+            rtscts_fraction=0.5,
+        )
+    ).build()
+
+
+#: name -> zero-arg factory returning a fresh, unconsumed BuiltScenario.
+#: Durations are trimmed so the whole golden suite stays test-suite fast
+#: while covering every library scenario and the mid-run mutation paths
+#: (roaming and channel management both re-target MAC channels, TPC
+#: varies per-destination transmit power, fragmentation re-enters
+#: ``_send_data`` outside contention).
+GOLDEN_CASES: dict[str, Callable[[], BuiltScenario]] = {
+    "ramp": lambda: build_scenario("ramp", duration_s=8.0),
+    "day": lambda: build_scenario("day", duration_s=8.0),
+    "plenary": lambda: build_scenario("plenary", duration_s=6.0),
+    "hidden-terminal": lambda: build_scenario("hidden-terminal", duration_s=6.0),
+    "hotspot-plenary": lambda: build_scenario("hotspot-plenary", duration_s=6.0),
+    "co-channel": lambda: build_scenario("co-channel", duration_s=6.0),
+    "roaming-storm": lambda: build_scenario("roaming-storm", duration_s=10.0),
+    "channel-mgmt": _channel_mgmt,
+    "tpc-frag": _tpc_frag,
+}
+
+
+def case_fingerprint(name: str) -> dict[str, object]:
+    """Run one golden case and produce its digest record."""
+    result = GOLDEN_CASES[name]().run()
+    return {
+        "trace_sha256": trace_digest(result.trace.sorted_by_time()),
+        "ground_truth_sha256": trace_digest(result.ground_truth),
+        "frames_transmitted": result.medium.frames_transmitted,
+        "frames_captured": len(result.trace),
+    }
+
+
+def load_fixture() -> dict[str, dict[str, object]]:
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+def regenerate() -> None:
+    fixture = {}
+    for name in GOLDEN_CASES:
+        record = case_fingerprint(name)
+        fixture[name] = record
+        print(f"{name}: {record['frames_transmitted']} frames "
+              f"trace={record['trace_sha256'][:12]}…")
+    FIXTURE_PATH.write_text(json.dumps(fixture, indent=2) + "\n")
+    print(f"wrote {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -133,3 +133,73 @@ class TestRunSemantics:
         assert fired == [10]
         sim.run_all()
         assert fired == [10, 20, 30]
+
+
+class TestTombstoneCompaction:
+    def test_events_cancelled_counter(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(t, lambda: None) for t in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+            handle.cancel()  # idempotent: must not double-count
+        assert sim.events_cancelled == 4
+        assert sim.events_pending == 6
+        sim.run_all()
+        assert sim.events_processed == 6
+        assert sim.events_cancelled == 4
+
+    def test_compaction_bounds_tombstones(self):
+        """Mass cancellation compacts the heap instead of leaving corpses."""
+        sim = Simulator()
+        keep = [sim.schedule_at(1_000_000 + t, lambda: None) for t in range(50)]
+        doomed = [sim.schedule_at(t, lambda: None) for t in range(2_000)]
+        for handle in doomed:
+            handle.cancel()
+        # Tombstones can never dominate the heap (beyond the small
+        # compaction floor).
+        assert sim._tombstones * 2 <= len(sim._heap) + 1
+        assert len(sim._heap) < 2_050 // 2
+        assert sim.events_pending == 50
+        fired = []
+        for handle in keep:
+            handle.callback = lambda: fired.append(True)
+        sim.run_all()
+        assert len(fired) == 50
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        live = []
+        for t in range(300):
+            handle = sim.schedule_at(t, lambda t=t: fired.append(t))
+            if t % 3 == 0:
+                live.append(t)
+            else:
+                handle.cancel()
+        sim.run_all()
+        assert fired == live
+
+    def test_cancel_heavy_rtscts_run_keeps_heap_lean(self):
+        """An all-RTS/CTS network cancels a timeout per delivered frame;
+        the heap must stay proportional to pending work and the counters
+        must expose the churn."""
+        from repro.sim import ScenarioBuilder, ScenarioConfig
+        from repro.sim.traffic import ConstantRate
+
+        built = ScenarioBuilder(
+            ScenarioConfig(
+                n_stations=6,
+                duration_s=3.0,
+                seed=17,
+                rtscts_fraction=1.0,
+                uplink=ConstantRate(30.0),
+                downlink=ConstantRate(10.0),
+            )
+        ).build()
+        result = built.run()
+        sim = result.sim
+        assert result.medium.frames_transmitted > 500
+        assert sim.events_cancelled > 500          # handshake timeout churn
+        assert sim.events_processed > 0
+        # Post-run invariant: tombstones never dominate what is left.
+        assert sim._tombstones * 2 <= len(sim._heap) + 64

@@ -158,3 +158,87 @@ class TestCollisions:
         sim.run_until(1_000_000)
         assert len(medium.ground_truth) == 2
         assert medium.frames_transmitted == 2
+
+
+class TestDeliveryPlans:
+    """The cached audibility/delivery plans and their invalidation."""
+
+    def test_repeat_transmissions_reuse_plan(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        rx = RecordingListener(2, Position(5, 0))
+        medium.attach(tx)
+        medium.attach(rx)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        sim.run_all()
+        assert len(medium._plans) == 1
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        sim.run_all()
+        assert len(medium._plans) == 1
+        assert len(rx.received) == 2
+
+    def test_notify_topology_changed_invalidates(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        rx = RecordingListener(2, Position(5, 0))
+        medium.attach(tx)
+        medium.attach(rx)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        sim.run_all()
+        assert len(rx.received) == 1
+        # Re-target the receiver's channel; a bare attribute write on an
+        # ad-hoc listener must be announced to the medium.
+        rx.channel = 6
+        medium.notify_topology_changed()
+        medium.transmit(tx, _frame(1, 2, channel=1), 15.0)
+        sim.run_all()
+        assert len(rx.received) == 1  # cross-channel now: nothing new
+
+    def test_attach_mid_flight_falls_back_to_dynamic_delivery(self):
+        """A listener attached while a frame is in the air still receives
+        it — exactly what the uncached per-finish loop always did."""
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        early = RecordingListener(2, Position(5, 0))
+        medium.attach(tx)
+        medium.attach(early)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        late = RecordingListener(3, Position(6, 0))
+        medium.attach(late)  # bumps the plan epoch mid-flight
+        sim.run_all()
+        assert len(early.received) == 1
+        assert len(late.received) == 1
+
+    def test_dcf_channel_property_announces_change(self):
+        import repro.sim.dcf as dcf
+        from repro.sim.rate_adaptation import FixedRate
+
+        sim, medium = _make_medium()
+        mac = dcf.DcfMac(
+            sim=sim,
+            medium=medium,
+            phy=PhyModel(),
+            node_id=7,
+            position=Position(1, 1),
+            channel=1,
+            rng=np.random.default_rng(3),
+            rate_adaptation=FixedRate(11.0),
+        )
+        epoch = medium._plan_epoch
+        mac.channel = 6
+        assert mac.channel == 6
+        assert medium._plan_epoch == epoch + 1
+
+    def test_passive_listener_skips_sense_bookkeeping(self):
+        sim, medium = _make_medium()
+        tx = RecordingListener(1, Position(0, 0))
+        passive = RecordingListener(2, Position(5, 0))
+        passive.medium_passive = True
+        medium.attach(tx)
+        medium.attach(passive)
+        medium.transmit(tx, _frame(1, 2), 15.0)
+        assert medium.is_idle(passive)  # no sensed entries are tracked
+        sim.run_all()
+        assert passive.busy_events == 0
+        assert passive.idle_events == 0
+        assert len(passive.received) == 1  # reception is unaffected

@@ -135,3 +135,42 @@ class TestPoissonSource:
     def test_packets_offered_counter(self):
         arrivals, source = self._run(ConstantRate(20.0), duration_s=5)
         assert source.packets_offered == len(arrivals)
+
+
+class TestRngStreamEquivalence:
+    """The hot-path RNG shortcuts must replicate numpy's streams exactly."""
+
+    def test_vector_random_matches_scalar_random(self):
+        """Medium._finish pre-draws rng.random(n): must equal n scalar draws."""
+        a = np.random.default_rng(123)
+        b = np.random.default_rng(123)
+        assert [a.random() for _ in range(257)] == list(b.random(257))
+
+    def test_fast_choice_replicates_generator_choice(self):
+        from repro.sim.traffic import _fast_choice_supported
+
+        assert _fast_choice_supported() is True
+
+    def test_class_mixture_matches_reference_choice_draws(self):
+        """The searchsorted fast path consumes and maps the bitstream
+        identically to rng.choice(p=...), interleaved with size draws."""
+        weights = {"S": 0.45, "M": 0.08, "L": 0.07, "XL": 0.40}
+        sampler = class_mixture(weights)
+        names = list(weights)
+        probs = np.array([weights[n] for n in names], dtype=np.float64)
+        probs = probs / probs.sum()
+        ranges = [
+            {"S": (60, 400), "M": (401, 800), "L": (801, 1200),
+             "XL": (1201, 1500)}[n]
+            for n in names
+        ]
+        a = np.random.default_rng(77)
+        b = np.random.default_rng(77)
+        got = [sampler(a) for _ in range(500)]
+        expected = []
+        for _ in range(500):
+            idx = int(b.choice(len(names), p=probs))
+            low, high = ranges[idx]
+            expected.append(int(b.integers(low, high + 1)))
+        assert got == expected
+        assert a.bit_generator.state == b.bit_generator.state
