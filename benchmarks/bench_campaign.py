@@ -71,6 +71,35 @@ def test_campaign_scales_with_workers(report_file):
         assert speedup > 0.5, f"pool overhead pathological: {speedup:.2f}x"
 
 
+def test_store_resume_is_nearly_free(tmp_path, report_file):
+    """A fully-stored campaign re-invocation does zero simulation work
+    and costs key hashing + JSON reads — orders of magnitude below the
+    cold run it replaces."""
+    store_dir = tmp_path / "store"
+    t0 = time.perf_counter()
+    cold = run_campaign(GRID, workers=2, store_dir=store_dir)
+    cold_s = time.perf_counter() - t0
+    assert cold.dispatched == len(GRID)
+
+    t0 = time.perf_counter()
+    warm = run_campaign(GRID, workers=2, store_dir=store_dir)
+    warm_s = time.perf_counter() - t0
+    assert warm.dispatched == 0
+    assert warm.store_hits == len(GRID)
+    assert _rows(cold) == _rows(warm)
+
+    report_file(
+        "Campaign store: cold vs fully-stored re-invocation (6-cell grid)\n"
+        f"cold (simulated)    : {cold_s:8.2f} s\n"
+        f"warm (store-served) : {warm_s:8.2f} s\n"
+        f"speedup             : {cold_s / warm_s:8.1f}x\n"
+        f"cells dispatched    : {cold.dispatched} -> {warm.dispatched}\n"
+    )
+    # Generous bound: warm runs take ~100 ms of hashing/IO against tens
+    # of seconds of simulation; 5x keeps slow CI boxes green.
+    assert warm_s * 5 < cold_s, f"store hit not cheap: {warm_s:.2f}s vs {cold_s:.2f}s"
+
+
 def test_streamed_cell_memory_stays_bounded(output_dir):
     """A long streamed scenario holds one drain window, not the run."""
     built = ScenarioBuilder(load_ramp_config(duration_s=60.0, seed=3)).build()

@@ -1,0 +1,153 @@
+"""End-to-end resume smoke: run → delete a cell → --resume → compare.
+
+Drives the real CLI (`python -m repro.tools campaign`) the way CI's
+``campaign-resume`` job does:
+
+1. run a 4-cell grid into a fresh ``--store``;
+2. delete exactly one cell record from the store;
+3. re-run with ``--resume`` and assert the header shows precisely one
+   cell recomputed (3 store hits);
+4. assert the resumed summary matches the from-scratch summary —
+   everything except the per-cell wall-clock column, which necessarily
+   jitters for the one recomputed cell;
+5. re-run once more and assert zero cells are dispatched (a fully
+   stored campaign performs no simulation work).
+
+Exits non-zero with a diff on any violation.
+
+Usage::
+
+    python benchmarks/smoke_campaign_resume.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+CAMPAIGN_ARGS = [
+    "--scenario",
+    "ramp",
+    "--vary",
+    "n_stations=4,6",
+    "--seeds",
+    "2",
+    "--fix",
+    "duration_s=2.0",
+    "--workers",
+    "2",
+]
+
+_HEADER_RE = re.compile(
+    r"\((?P<hits>\d+) from store, (?P<run>\d+) run, (?P<failed>\d+) failed\)"
+)
+
+
+def run_cli(repo: Path, extra: list[str]) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.tools", "campaign", *CAMPAIGN_ARGS, *extra],
+        cwd=repo,
+        env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"campaign CLI failed ({result.returncode}):\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def header_counts(summary: str) -> dict[str, int]:
+    match = _HEADER_RE.search(summary.splitlines()[0])
+    if match is None:
+        raise SystemExit(f"no store counts in header: {summary.splitlines()[0]!r}")
+    return {k: int(v) for k, v in match.groupdict().items()}
+
+
+def comparable(summary: str) -> str:
+    """The summary minus the header line and the per-cell wall column."""
+    lines = summary.splitlines()[1:]
+    out = []
+    wall_at: int | None = None
+    for line in lines:
+        if "wall_s" in line:  # table header: note where the column starts
+            wall_at = line.index("wall_s")
+        if wall_at is not None and len(line) > wall_at and "knee" not in line:
+            line = line[:wall_at]
+        out.append(line.rstrip())
+    return "\n".join(out)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default=None, help="scratch directory (default: temp)"
+    )
+    args = parser.parse_args()
+    repo = Path(__file__).resolve().parent.parent
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp())
+    workdir.mkdir(parents=True, exist_ok=True)
+    store = workdir / "store"
+    if store.exists():
+        shutil.rmtree(store)
+
+    t0 = time.perf_counter()
+    scratch = run_cli(repo, ["--store", str(store)])
+    cold_s = time.perf_counter() - t0
+    counts = header_counts(scratch)
+    assert counts == {"hits": 0, "run": 4, "failed": 0}, counts
+
+    # Simulate a lost cell: remove exactly one result record.
+    records = sorted(
+        p
+        for p in store.glob("*/*.json")
+        if not p.name.endswith(".fail.json")
+    )
+    assert len(records) == 4, f"expected 4 records, found {len(records)}"
+    records[1].unlink()
+
+    t0 = time.perf_counter()
+    resumed = run_cli(repo, ["--store", str(store), "--resume"])
+    resume_s = time.perf_counter() - t0
+    counts = header_counts(resumed)
+    if counts != {"hits": 3, "run": 1, "failed": 0}:
+        raise SystemExit(f"resume did not recompute exactly one cell: {counts}")
+
+    if comparable(resumed) != comparable(scratch):
+        import difflib
+
+        diff = "\n".join(
+            difflib.unified_diff(
+                comparable(scratch).splitlines(),
+                comparable(resumed).splitlines(),
+                "from-scratch",
+                "resumed",
+                lineterm="",
+            )
+        )
+        raise SystemExit(f"resumed summary diverged from scratch run:\n{diff}")
+
+    warm = run_cli(repo, ["--store", str(store), "--resume"])
+    counts = header_counts(warm)
+    if counts != {"hits": 4, "run": 0, "failed": 0}:
+        raise SystemExit(f"fully-stored campaign still dispatched work: {counts}")
+    if comparable(warm) != comparable(scratch):
+        raise SystemExit("fully-stored summary diverged from scratch run")
+
+    print(
+        "campaign-resume smoke OK: "
+        f"cold {cold_s:.1f}s (4 cells) | resume {resume_s:.1f}s (1 cell) | "
+        "fully-stored re-run dispatched 0 cells with identical summary"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,16 @@ bounded memory end to end), and :mod:`repro.campaign.summary`
 aggregates the per-cell congestion findings into campaign-level tables,
 delivery-vs-offered-load curves and utilization-knee estimates.
 
+Campaigns are crash-safe and incremental: pass ``store_dir=`` and every
+finished cell is persisted immediately to a content-addressed
+:class:`~repro.campaign.store.CampaignStore` keyed by (scenario,
+resolved config, seed, code-version salt).  Re-invoking the same
+campaign performs zero simulation work; extending the grid
+(:meth:`~repro.campaign.grid.ParameterGrid.extend`) recomputes only the
+new cells; per-cell exceptions become
+:class:`~repro.campaign.store.FailedCell` records instead of sinking
+the run.
+
     from repro.campaign import ParameterGrid, run_campaign, render_campaign
 
     grid = ParameterGrid(
@@ -24,6 +34,7 @@ CLI equivalent: ``python -m repro.tools campaign --scenario ramp
 
 from .grid import CampaignCell, ParameterGrid
 from .runner import CampaignResult, CellResult, run_campaign
+from .store import CampaignStore, FailedCell, StoreStatus, cell_key, code_version_salt
 from .summary import (
     campaign_table,
     delivery_curve,
@@ -36,9 +47,14 @@ from .summary import (
 __all__ = [
     "CampaignCell",
     "CampaignResult",
+    "CampaignStore",
     "CellResult",
+    "FailedCell",
     "ParameterGrid",
+    "StoreStatus",
     "campaign_table",
+    "cell_key",
+    "code_version_salt",
     "delivery_curve",
     "group_over_seeds",
     "load_knee",

@@ -96,3 +96,68 @@ class ParameterGrid:
                     CampaignCell(scenario=self.scenario, params=params, seed=seed)
                 )
         return out
+
+    def extend(
+        self,
+        *,
+        axes: Mapping[str, Sequence[object]] | None = None,
+        seeds: int | Sequence[int] | None = None,
+    ) -> "ParameterGrid":
+        """A grown grid that keeps every existing cell and adds new ones.
+
+        ``axes`` appends values to existing axes (duplicates ignored,
+        order preserved) or introduces new axes; ``seeds`` grows the
+        seed set — an int raises the count (``seeds 0..n-1`` stay a
+        prefix), a sequence appends explicit seed values.  Because the
+        original cells survive verbatim, running the extended grid
+        against a :class:`~repro.campaign.store.CampaignStore` that
+        already holds the original campaign recomputes **only** the new
+        cells; :meth:`new_cells` names them without a store.
+
+        Note: introducing a brand-new axis *key* changes every cell's
+        parameter set, so none of the original cells survive — extend
+        along existing axes (or seeds) for incremental growth.
+        """
+        merged_axes: dict[str, list[object]] = {
+            key: list(values) for key, values in self.axes.items()
+        }
+        for key, values in (axes or {}).items():
+            bucket = merged_axes.setdefault(key, [])
+            for value in values:
+                if value not in bucket:
+                    bucket.append(value)
+        merged_seeds: int | Sequence[int] = self.seeds
+        if seeds is not None:
+            if isinstance(seeds, int):
+                if not isinstance(self.seeds, int):
+                    raise ValueError(
+                        "cannot grow an explicit seed list by count; "
+                        "pass the seed values to add"
+                    )
+                if seeds < self.seeds:
+                    raise ValueError(
+                        f"cannot shrink seeds: {seeds} < {self.seeds}"
+                    )
+                merged_seeds = seeds
+            else:
+                current = list(self.seed_values)
+                for seed in seeds:
+                    if int(seed) not in current:
+                        current.append(int(seed))
+                merged_seeds = tuple(current)
+        return ParameterGrid(
+            scenario=self.scenario,
+            axes=merged_axes,
+            seeds=merged_seeds,
+            fixed=dict(self.fixed),
+        )
+
+    def new_cells(self, base: "ParameterGrid") -> list[CampaignCell]:
+        """Cells of this grid that ``base`` does not contain (diffing).
+
+        The incremental-extension primitive for store-less campaigns:
+        ``run_campaign(extended.new_cells(original))`` runs exactly the
+        added work.  Cells compare by value (scenario, params, seed).
+        """
+        existing = set(base.cells())
+        return [cell for cell in self.cells() if cell not in existing]

@@ -7,22 +7,32 @@ so a campaign's memory footprint is one drain window per worker, not
 one trace per cell, and wall-clock scales with the worker count
 (``benchmarks/bench_campaign.py`` measures the scaling).
 
+Campaigns are **crash-safe and resumable** when given a ``store_dir``:
+results stream into a content-addressed
+:class:`~repro.campaign.store.CampaignStore` *as futures resolve*, a
+cell that raises becomes a :class:`~repro.campaign.store.FailedCell`
+record instead of sinking the whole run, and a re-invocation consults
+the store first and dispatches only the cells it is missing.
+
     from repro.campaign import ParameterGrid, run_campaign
 
     grid = ParameterGrid("ramp", axes={"n_stations": [10, 20, 40]}, seeds=2)
-    result = run_campaign(grid, workers=4)
+    result = run_campaign(grid, workers=4, store_dir="campaign-store")
     print(result.cells[0].delivery_ratio)
+    # ... Ctrl-C and re-run: only unfinished cells are simulated.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from .grid import CampaignCell, ParameterGrid
+from .store import CampaignStore, FailedCell
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.report import CongestionReport
@@ -107,17 +117,33 @@ class CellResult:
 
 @dataclass
 class CampaignResult:
-    """Everything a finished campaign produced, input order preserved."""
+    """Everything a finished campaign produced, input order preserved.
+
+    ``cells`` holds the successful results; cells whose simulation
+    raised are in ``failed`` (the campaign itself always completes).
+    ``store_hits`` counts cells answered from the store without any
+    simulation work, ``dispatched`` the cells actually simulated this
+    invocation — a fully-stored campaign has ``dispatched == 0``.
+    """
 
     cells: list[CellResult]
     workers: int
     elapsed_s: float
+    failed: list[FailedCell] = field(default_factory=list)
+    store_hits: int = 0
+    dispatched: int = 0
+    store_dir: str | None = None
 
     def __len__(self) -> int:
         return len(self.cells)
 
     def __iter__(self):
         return iter(self.cells)
+
+    @property
+    def n_total(self) -> int:
+        """All cells the campaign covered, successful or failed."""
+        return len(self.cells) + len(self.failed)
 
     def by_name(self) -> dict[str, CellResult]:
         return {cell.name: cell for cell in self.cells}
@@ -130,15 +156,37 @@ class CampaignResult:
         return list(seen)
 
 
-def _run_cell(job) -> CellResult:
-    """Module-level cell worker (picklable for process pools)."""
+def _run_cell(job) -> tuple[str, object]:
+    """Module-level cell worker (picklable for process pools).
+
+    Returns ``("ok", CellResult)`` or ``("fail", FailedCell)`` — a
+    raising cell must never sink its siblings (or, pre-store, the
+    already-completed results), so the exception is captured *inside*
+    the worker where its traceback is still attached.
+    """
     cell, options = job
+    start = time.perf_counter()
+    try:
+        return ("ok", _simulate_cell(cell, options, start))
+    except Exception as error:
+        return (
+            "fail",
+            FailedCell(
+                cell=cell,
+                error_type=type(error).__name__,
+                error=str(error),
+                traceback=traceback_module.format_exc(),
+                elapsed_s=time.perf_counter() - start,
+            ),
+        )
+
+
+def _simulate_cell(cell: CampaignCell, options: dict, start: float) -> CellResult:
     from ..pipeline import run_all
     from ..sim import build_scenario
 
     built = build_scenario(cell.scenario, **cell.kwargs)
     roster = built.roster
-    start = time.perf_counter()
     report = run_all(
         built.stream(
             chunk_frames=options["chunk_frames"],
@@ -183,6 +231,9 @@ def run_campaign(
     chunk_frames: int = CELL_CHUNK_FRAMES,
     window_s: float = 1.0,
     keep_reports: bool = False,
+    store_dir: str | os.PathLike | None = None,
+    resume: bool = True,
+    retry_failed: bool = False,
 ) -> CampaignResult:
     """Run every cell of ``grid`` and collect per-cell findings.
 
@@ -193,6 +244,19 @@ def run_campaign(
     their own seeds.  ``keep_reports=True`` attaches each cell's full
     :class:`~repro.core.report.CongestionReport` (heavier pickles;
     leave off for wide sweeps).
+
+    With ``store_dir`` every finished cell is persisted immediately
+    (atomic write) to a content-addressed
+    :class:`~repro.campaign.store.CampaignStore`, so an interrupted
+    campaign loses at most the cells in flight.  ``resume=True`` (the
+    default) answers cells from the store when their content key
+    matches; ``resume=False`` recomputes (and overwrites) everything.
+    Recorded failures are *not* retried on resume unless
+    ``retry_failed=True``.
+
+    A cell that raises never aborts the campaign: it is captured as a
+    :class:`FailedCell` (config + traceback) in ``result.failed`` and —
+    when a store is attached — persisted alongside the results.
     """
     cells = grid.cells() if isinstance(grid, ParameterGrid) else list(grid)
     if not cells:
@@ -201,22 +265,106 @@ def run_campaign(
     if len(set(names)) != len(names):
         dupes = sorted({n for n in names if names.count(n) > 1})
         raise ValueError(f"duplicate campaign cells: {dupes}")
+
+    store = CampaignStore(store_dir) if store_dir is not None else None
     options = {
         "chunk_frames": chunk_frames,
         "window_s": window_s,
         "keep_reports": keep_reports,
     }
-    jobs = [(cell, options) for cell in cells]
+
     start = time.perf_counter()
-    if len(jobs) <= 1 or workers == 1:
-        results = [_run_cell(job) for job in jobs]
+    results: dict[int, CellResult] = {}
+    failures: dict[int, FailedCell] = {}
+    keys: dict[int, str] = {}
+    to_run: list[tuple[int, CampaignCell]] = []
+    store_hits = 0
+    if store is not None:
+        for index, cell in enumerate(cells):
+            key = store.key_for(cell)
+            keys[index] = key
+            if resume:
+                hit = store.get(cell, key=key, with_report=keep_reports)
+                if hit is not None:
+                    results[index] = hit
+                    store_hits += 1
+                    continue
+                if not retry_failed:
+                    failure = store.get_failure(cell, key=key)
+                    if failure is not None:
+                        failures[index] = failure
+                        continue
+            to_run.append((index, cell))
+    else:
+        to_run = list(enumerate(cells))
+
+    def record(
+        index: int, outcome: tuple[str, object], persist: bool = True
+    ) -> None:
+        status, payload = outcome
+        if status == "ok":
+            results[index] = payload  # type: ignore[assignment]
+            if store is not None:
+                store.put(payload, key=keys.get(index))  # type: ignore[arg-type]
+        else:
+            failures[index] = payload  # type: ignore[assignment]
+            if store is not None and persist:
+                store.put_failure(payload, key=keys.get(index))  # type: ignore[arg-type]
+
+    if len(to_run) <= 1 or workers == 1:
         pool_size = 1
+        for index, cell in to_run:
+            record(index, _run_cell((cell, options)))
     else:
         pool_size = workers if workers is not None else (os.cpu_count() or 1)
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            results = list(pool.map(_run_cell, jobs))
+            pending = {
+                pool.submit(_run_cell, (cell, options)): (index, cell)
+                for index, cell in to_run
+            }
+            # Streaming collection: each result is recorded (and stored)
+            # the moment its future resolves, so a crash loses only the
+            # cells still in flight — never the finished ones.
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, cell = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except Exception as error:
+                        # The worker process died (e.g. OOM-kill,
+                        # BrokenProcessPool): synthesize a failure so
+                        # the campaign still completes — but do NOT
+                        # persist it.  A broken pool fails every queued
+                        # future, including cells that never started;
+                        # storing those records would make a plain
+                        # resume report them as failed instead of
+                        # re-running them.  (Cell code that raises is
+                        # captured *inside* the worker and does
+                        # persist.)
+                        record(
+                            index,
+                            (
+                                "fail",
+                                FailedCell(
+                                    cell=cell,
+                                    error_type=type(error).__name__,
+                                    error=str(error),
+                                    traceback="",
+                                    elapsed_s=0.0,
+                                ),
+                            ),
+                            persist=False,
+                        )
+                        continue
+                    record(index, outcome)
+
     return CampaignResult(
-        cells=results,
+        cells=[results[i] for i in sorted(results)],
         workers=pool_size,
         elapsed_s=time.perf_counter() - start,
+        failed=[failures[i] for i in sorted(failures)],
+        store_hits=store_hits,
+        dispatched=len(to_run),
+        store_dir=os.fspath(store_dir) if store_dir is not None else None,
     )

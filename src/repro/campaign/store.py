@@ -1,0 +1,500 @@
+"""Content-addressed, crash-safe on-disk store for campaign cells.
+
+A campaign is only "production-scale" if interrupting it costs nothing:
+every finished cell must survive a worker crash, a Ctrl-C at cell 199
+of 200, or a power cut, and re-invoking the campaign must redo *only*
+the missing work.  The :class:`CampaignStore` provides that guarantee:
+
+* **Content-addressed keys.**  Each cell is keyed by a SHA-256 over
+  (scenario name, the cell's parameters, the *resolved*
+  :class:`~repro.sim.scenarios.ScenarioConfig` the scenario library
+  would run with, the seed, and a code-version salt).  Two cells with
+  the same key would simulate the same frames, so a stored result is a
+  safe substitute for re-running; anything that changes the simulation
+  — a parameter, a seed, a library default, the simulator source —
+  changes the key and transparently invalidates the entry.
+* **Atomic persistence.**  One JSON file per cell, written to a
+  temporary sibling and ``os.replace``-d into place, so a crash can
+  never leave a half-written record that a later resume would trust.
+* **Failure records.**  A cell that raises is persisted as a
+  :class:`FailedCell` (exception type, message, traceback) in a
+  ``.fail.json`` sidecar; the campaign completes, reports the failure,
+  and a ``--retry-failed`` pass re-runs exactly those cells.
+
+The code-version salt defaults to a hash of every ``.py`` file in the
+installed ``repro`` package, so results never outlive the code that
+produced them.  Set ``salt=`` (or the ``REPRO_CAMPAIGN_SALT``
+environment variable) to pin it across code changes you know are
+behaviour-preserving.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .grid import CampaignCell
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import CellResult
+
+__all__ = [
+    "CampaignStore",
+    "FailedCell",
+    "StoreStatus",
+    "cell_key",
+    "code_version_salt",
+]
+
+#: Bump when the on-disk record layout changes incompatibly.
+STORE_FORMAT = 1
+
+#: Environment override for the code-version salt (useful to keep a
+#: store warm across code changes known to be behaviour-preserving).
+_SALT_ENV = "REPRO_CAMPAIGN_SALT"
+
+_code_salt_cache: str | None = None
+
+
+def code_version_salt() -> str:
+    """Hash of the installed ``repro`` package source (cached).
+
+    Any change to any ``src/repro/**.py`` file yields a new salt, so a
+    store never serves results computed by different simulator code.
+    """
+    global _code_salt_cache
+    env = os.environ.get(_SALT_ENV)
+    if env:
+        return env
+    if _code_salt_cache is None:
+        package_dir = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            digest.update(str(path.relative_to(package_dir)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_salt_cache = digest.hexdigest()[:16]
+    return _code_salt_cache
+
+
+# -- canonical hashing -----------------------------------------------------
+
+
+def _canonical(value, seen: set[int] | None = None):
+    """Reduce ``value`` to a deterministic JSON-able structure.
+
+    Handles the things a resolved :class:`ScenarioConfig` contains:
+    primitives, tuples, mappings, dataclasses, numpy scalars/arrays,
+    rate-schedule objects and size-mix closures.  Callables contribute
+    their qualified name plus their closure's canonical contents (so
+    two ``class_mixture`` samplers with different weights hash apart);
+    generic objects contribute their class plus sorted attributes,
+    *skipping* dict/set-valued attributes, which are memo caches by
+    convention (e.g. ``ModulatedRate._cache`` fills in during a run and
+    must not shift the key).
+    """
+    if seen is None:
+        seen = set()
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes())
+            .hexdigest(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if id(value) in seen:
+        return "__cycle__"
+    seen = seen | {id(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v, seen) for v in value]
+    if isinstance(value, Mapping):
+        return {
+            "__map__": [
+                [str(k), _canonical(v, seen)]
+                for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+            ]
+        }
+    if is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: _canonical(getattr(value, f.name), seen)
+                for f in dataclass_fields(value)
+            },
+        }
+    if callable(value):
+        closure = getattr(value, "__closure__", None) or ()
+        bound_self = getattr(value, "__self__", None)
+        return {
+            "__callable__": f"{getattr(value, '__module__', '?')}."
+            f"{getattr(value, '__qualname__', repr(type(value)))}",
+            "closure": [_canonical(c.cell_contents, seen) for c in closure],
+            "self": _canonical(bound_self, seen) if bound_self is not None else None,
+        }
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        cls = type(value)
+        return {
+            "__object__": f"{cls.__module__}.{cls.__qualname__}",
+            "attrs": {
+                k: _canonical(v, seen)
+                for k, v in sorted(attrs.items())
+                if not isinstance(v, (dict, set))
+            },
+        }
+    return {"__repr__": repr(value)}
+
+
+def cell_key(cell: CampaignCell, salt: str) -> str:
+    """Content hash identifying ``cell``'s simulation work.
+
+    The key covers the scenario *name*, the cell parameters, the fully
+    resolved scenario config those parameters produce, the seed and the
+    code-version ``salt``.  Cells whose parameters do not resolve to a
+    valid config (the cell will fail when run) are keyed by name and
+    parameters alone, so their failure records are still addressable.
+    """
+    payload: dict[str, object] = {
+        "scenario": cell.scenario,
+        "params": _canonical(dict(cell.params)),
+        "seed": cell.seed,
+        "salt": salt,
+    }
+    try:
+        from ..sim import scenario_config
+
+        payload["config"] = _canonical(scenario_config(cell.scenario, **cell.kwargs))
+    except Exception as error:
+        payload["config_error"] = f"{type(error).__name__}: {error}"
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# -- records ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """A cell whose simulation raised; the campaign completed without it."""
+
+    cell: CampaignCell
+    error_type: str
+    error: str
+    traceback: str
+    elapsed_s: float
+
+    @property
+    def name(self) -> str:
+        return self.cell.name
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Cells of a grid partitioned by what the store holds for them."""
+
+    done: list[CampaignCell]
+    pending: list[CampaignCell]
+    failed: list[FailedCell]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "done": len(self.done),
+            "pending": len(self.pending),
+            "failed": len(self.failed),
+        }
+
+
+def _json_safe(value):
+    """Cell parameter values for the on-disk record (display/rebuild)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    return repr(value)
+
+
+def _cell_payload(cell: CampaignCell) -> dict[str, object]:
+    return {
+        "scenario": cell.scenario,
+        "params": [[k, _json_safe(v)] for k, v in cell.params],
+        "seed": cell.seed,
+        "name": cell.name,
+    }
+
+
+#: CellResult fields persisted to JSON (everything except ``cell`` and
+#: the optional ``report``, which goes to a compressed sidecar).
+_RESULT_FIELDS = (
+    "n_frames",
+    "frames_transmitted",
+    "offered_packets",
+    "duration_s",
+    "delivery_ratio",
+    "capture_ratio",
+    "mode_utilization",
+    "peak_throughput_mbps",
+    "peak_throughput_utilization",
+    "high_congestion_fraction",
+    "unrecorded_percent",
+    "elapsed_s",
+    "events_processed",
+    "events_cancelled",
+)
+
+
+class CampaignStore:
+    """On-disk map: content key → finished cell result (or failure).
+
+    Records live two directory levels deep (``ab/<key>.json``) so huge
+    campaigns do not produce million-entry directories.  All writes are
+    atomic (temp file + ``os.replace``); readers either see a complete
+    record or none at all.
+    """
+
+    def __init__(self, root: str | os.PathLike, *, salt: str | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.salt = salt if salt is not None else code_version_salt()
+        self._write_meta()
+
+    def _write_meta(self) -> None:
+        meta_path = self.root / "store-meta.json"
+        if not meta_path.exists():
+            self._atomic_write_json(
+                meta_path, {"format": STORE_FORMAT, "salt": self.salt}
+            )
+
+    # -- paths ------------------------------------------------------------
+
+    def key_for(self, cell: CampaignCell) -> str:
+        return cell_key(cell, self.salt)
+
+    def result_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def failure_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.fail.json"
+
+    def report_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.report.pkl.gz"
+
+    # -- low-level I/O ----------------------------------------------------
+
+    @staticmethod
+    def _atomic_write_json(path: Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_json(path: Path) -> dict | None:
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A corrupt/truncated record is treated as absent: the cell
+            # is simply recomputed (and the record rewritten) on resume.
+            return None
+
+    # -- writing ----------------------------------------------------------
+
+    def put(self, result: "CellResult", *, key: str | None = None) -> Path:
+        """Persist a finished cell atomically; clears any failure record."""
+        key = key or self.key_for(result.cell)
+        payload = {
+            "format": STORE_FORMAT,
+            "kind": "result",
+            "key": key,
+            "salt": self.salt,
+            "cell": _cell_payload(result.cell),
+            "result": {f: getattr(result, f) for f in _RESULT_FIELDS},
+            "has_report": result.report is not None,
+        }
+        if result.report is not None:
+            report_path = self.report_path(key)
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=report_path.parent, prefix=report_path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as raw, gzip.GzipFile(
+                    fileobj=raw, mode="wb", mtime=0
+                ) as zipped:
+                    pickle.dump(result.report, zipped)
+                os.replace(tmp, report_path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        path = self.result_path(key)
+        self._atomic_write_json(path, payload)
+        try:
+            self.failure_path(key).unlink()
+        except OSError:
+            pass
+        return path
+
+    def put_failure(self, failed: FailedCell, *, key: str | None = None) -> Path:
+        """Persist a failure record (never overwrites a success)."""
+        key = key or self.key_for(failed.cell)
+        payload = {
+            "format": STORE_FORMAT,
+            "kind": "failure",
+            "key": key,
+            "salt": self.salt,
+            "cell": _cell_payload(failed.cell),
+            "error": {
+                "type": failed.error_type,
+                "message": failed.error,
+                "traceback": failed.traceback,
+            },
+            "elapsed_s": failed.elapsed_s,
+        }
+        path = self.failure_path(key)
+        self._atomic_write_json(path, payload)
+        return path
+
+    # -- reading ----------------------------------------------------------
+
+    def get(
+        self,
+        cell: CampaignCell,
+        *,
+        key: str | None = None,
+        with_report: bool = False,
+    ) -> "CellResult | None":
+        """Stored :class:`CellResult` for ``cell``, or ``None`` on miss.
+
+        The returned result carries the *live* ``cell`` object (not the
+        JSON reconstruction), so resumed campaigns aggregate exactly
+        like fresh ones.
+        """
+        from .runner import CellResult
+
+        key = key or self.key_for(cell)
+        payload = self._read_json(self.result_path(key))
+        if payload is None or payload.get("kind") != "result":
+            return None
+        numbers = payload.get("result", {})
+        try:
+            kwargs = {f: numbers[f] for f in _RESULT_FIELDS}
+        except KeyError:
+            return None  # record from an incompatible layout: recompute
+        report = None
+        if with_report:
+            # A record persisted without a report (or whose sidecar was
+            # lost) cannot satisfy a keep_reports request: miss, so the
+            # cell is recomputed with its report this time.
+            if not payload.get("has_report"):
+                return None
+            report = self._load_report(key)
+            if report is None:
+                return None
+        return CellResult(cell=cell, report=report, **kwargs)
+
+    def _load_report(self, key: str):
+        try:
+            with gzip.open(self.report_path(key), "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            return None
+
+    def get_failure(
+        self, cell: CampaignCell, *, key: str | None = None
+    ) -> FailedCell | None:
+        """Stored failure record for ``cell``, or ``None``."""
+        key = key or self.key_for(cell)
+        payload = self._read_json(self.failure_path(key))
+        if payload is None or payload.get("kind") != "failure":
+            return None
+        error = payload.get("error", {})
+        return FailedCell(
+            cell=cell,
+            error_type=str(error.get("type", "Exception")),
+            error=str(error.get("message", "")),
+            traceback=str(error.get("traceback", "")),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        )
+
+    def __contains__(self, cell: CampaignCell) -> bool:
+        return self.result_path(self.key_for(cell)).exists()
+
+    def discard(self, cell: CampaignCell) -> bool:
+        """Remove any records for ``cell``; True if something was removed."""
+        key = self.key_for(cell)
+        removed = False
+        for path in (
+            self.result_path(key),
+            self.failure_path(key),
+            self.report_path(key),
+        ):
+            try:
+                path.unlink()
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    # -- inventory --------------------------------------------------------
+
+    def records(self) -> Iterator[dict]:
+        """Every readable record in the store (results and failures)."""
+        for path in sorted(self.root.glob("*/*.json")):
+            payload = self._read_json(path)
+            if payload is not None and payload.get("kind") in (
+                "result",
+                "failure",
+            ):
+                yield payload
+
+    def __len__(self) -> int:
+        return sum(1 for r in self.records() if r["kind"] == "result")
+
+    def status(self, cells: Sequence[CampaignCell]) -> StoreStatus:
+        """Partition ``cells`` into done / pending / failed for this store."""
+        done: list[CampaignCell] = []
+        pending: list[CampaignCell] = []
+        failed: list[FailedCell] = []
+        for cell in cells:
+            key = self.key_for(cell)
+            if self.result_path(key).exists():
+                done.append(cell)
+                continue
+            failure = self.get_failure(cell, key=key)
+            if failure is not None:
+                failed.append(failure)
+            else:
+                pending.append(cell)
+        return StoreStatus(done=done, pending=pending, failed=failed)

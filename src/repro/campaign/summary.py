@@ -28,9 +28,50 @@ __all__ = [
 ]
 
 
+def _row_columns() -> tuple[str, ...]:
+    """Columns of ``CellResult.as_row``, derived from a zeroed result so
+    placeholder rows (a campaign whose every cell failed) can never
+    drift from the real table shape."""
+    from .grid import CampaignCell
+
+    dummy = CellResult(
+        cell=CampaignCell("-"),
+        n_frames=0,
+        frames_transmitted=0,
+        offered_packets=0,
+        duration_s=0.0,
+        delivery_ratio=0.0,
+        capture_ratio=0.0,
+        mode_utilization=0.0,
+        peak_throughput_mbps=0.0,
+        peak_throughput_utilization=0.0,
+        high_congestion_fraction=0.0,
+        unrecorded_percent=0.0,
+        elapsed_s=0.0,
+    )
+    return tuple(dummy.as_row())
+
+
 def campaign_table(result: CampaignResult, title: str = "Campaign cells") -> str:
-    """Fixed-width per-cell summary table."""
-    return table([cell.as_row() for cell in result.cells], title=title)
+    """Fixed-width per-cell summary table.
+
+    Partially-failed campaigns (store-backed or not) keep their failed
+    cells visible: each one gets a row with a ``failed`` column naming
+    the exception, numeric columns dashed out.  Campaigns with no
+    failures render exactly as before (no ``failed`` column).
+    """
+    rows = [cell.as_row() for cell in result.cells]
+    if result.failed:
+        columns = list(rows[0]) if rows else list(_row_columns())
+        for row in rows:
+            row["failed"] = ""
+        for failure in result.failed:
+            row: dict[str, object] = {key: "-" for key in columns}
+            row["cell"] = failure.name
+            message = failure.error.splitlines()[0] if failure.error else ""
+            row["failed"] = f"{failure.error_type}: {message}"
+            rows.append(row)
+    return table(rows, title=title)
 
 
 def group_over_seeds(
@@ -98,13 +139,36 @@ def utilization_knee(
 
 def render_campaign(result: CampaignResult, title: str = "Campaign") -> str:
     """Full text artifact: header, cell table, per-scenario knees and
-    delivery-vs-offered-load curves."""
+    delivery-vs-offered-load curves.
+
+    Store-backed or partially-failed campaigns get an extended header
+    breaking the cells down into store hits / freshly run / failed, and
+    failed cells are listed (name + error) after the table so a partial
+    campaign can never be mistaken for a complete one.
+    """
+    header = f"{title}: {result.n_total} cells"
+    if result.store_dir is not None or result.failed:
+        header += (
+            f" ({result.store_hits} from store, {result.dispatched} run, "
+            f"{len(result.failed)} failed)"
+        )
+    header += f", {result.workers} worker(s), {result.elapsed_s:.1f}s wall"
     lines = [
-        f"{title}: {len(result)} cells, {result.workers} worker(s), "
-        f"{result.elapsed_s:.1f}s wall",
+        header,
         "",
         campaign_table(result).rstrip(),
     ]
+    if result.failed:
+        lines.append("")
+        lines.append(f"Failed cells ({len(result.failed)}):")
+        for failure in result.failed:
+            message = failure.error.splitlines()[0] if failure.error else ""
+            lines.append(f"  {failure.name}: {failure.error_type}: {message}")
+        if result.store_dir is not None:
+            lines.append(
+                f"  (tracebacks stored under {result.store_dir}; "
+                "re-run with retry_failed/--retry-failed to retry)"
+            )
     for scenario in result.scenarios():
         lines.append("")
         util_knee = utilization_knee(result, scenario)

@@ -216,14 +216,18 @@ class Sniffer:
 
         The live-capture hook: a streaming scenario run drains each
         sniffer once per simulated window, so buffers hold one window of
-        rows instead of the whole run.  Rows at or after the watermark
-        stay buffered for a later drain (a frame's timestamp is its
-        transmission *start*, so rows land slightly out of record order
-        and a too-eager cut would misorder the stream).  ``None`` drains
-        everything.  The returned trace is stably time-sorted, matching
-        the ordering :meth:`to_trace` would have produced over the full
-        run.  Kept rows are compacted to the front of the column buffers
-        in place; no Python-object row conversion happens either way.
+        rows instead of the whole run.  The watermark is strictly
+        exclusive: a row with ``time_us == before_us`` stays buffered
+        now and is drained by the first later call whose watermark
+        exceeds it — exactly once across consecutive drains, never
+        zero or twice.  (Rows at or after the watermark must stay
+        because a frame's timestamp is its transmission *start*, so
+        rows land slightly out of record order and a too-eager cut
+        would misorder the stream.)  ``None`` drains everything.  The
+        returned trace is stably time-sorted, matching the ordering
+        :meth:`to_trace` would have produced over the full run.  Kept
+        rows are compacted to the front of the column buffers in
+        place; no Python-object row conversion happens either way.
         """
         n = self._n
         if before_us is None:

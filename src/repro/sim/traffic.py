@@ -39,6 +39,18 @@ __all__ = [
 SizeSampler = Callable[[np.random.Generator], int]
 
 
+def _poisson_gap_us(rng: np.random.Generator, rate_pps: float) -> int:
+    """One exponential inter-arrival gap in µs, clamped to at least 1.
+
+    The single definition both Poisson arrival paths (the emit branch
+    and the idle-loop branch of ``PoissonSource._refill``) must share:
+    the clamp keeps the integer-µs clock advancing at extreme rates,
+    and hoisting it here guarantees the RNG streams of the two branches
+    can never silently diverge.
+    """
+    return max(1, int(rng.exponential(1e6 / rate_pps)))
+
+
 def uniform_sizes(low: int, high: int) -> SizeSampler:
     """Frame sizes uniform in [low, high] bytes."""
     if not 0 <= low <= high:
@@ -316,8 +328,7 @@ class PoissonSource:
                     if rate <= 0:
                         kind, t = "loop", t + 100_000
                     else:
-                        gap = max(1, int(rng.exponential(1e6 / rate)))
-                        t += gap
+                        t += _poisson_gap_us(rng, rate)
                 else:
                     # Past-end emission event: fires, emits nothing, ends.
                     times.append(t)
@@ -333,8 +344,7 @@ class PoissonSource:
                     if rate <= 0:
                         t += 100_000  # idle poll; stays a 'loop' tick
                     else:
-                        gap = max(1, int(rng.exponential(1e6 / rate)))
-                        kind, t = "emit", t + gap
+                        kind, t = "emit", t + _poisson_gap_us(rng, rate)
         self._gen_kind, self._gen_time = kind, t
         # Stored columnar (one int64 array per field, like the sniffer's
         # capture buffers) even though replay reads scalars: the arrays

@@ -6,7 +6,10 @@ Usage::
     python -m repro.tools analyze capture.pcap
     python -m repro.tools analyze day.pcap plenary.pcap --workers 2
     python -m repro.tools campaign --scenario ramp \\
-        --vary n_stations=10,20,40 --seeds 2 --workers 4
+        --vary n_stations=10,20,40 --seeds 2 --workers 4 \\
+        --store campaign-store --resume
+    python -m repro.tools campaign-status --store campaign-store \\
+        --scenario ramp --vary n_stations=10,20,40 --seeds 2
     python -m repro.tools info capture.pcap
 
 ``simulate`` runs a scenario and writes the sniffer capture as a real
@@ -15,8 +18,10 @@ single-pass :mod:`repro.pipeline` and prints the rendered congestion
 report(s) — multiple captures are analyzed in parallel; ``campaign``
 sweeps a parameter grid over a library scenario across a process pool
 (each cell streamed live through the pipeline, bounded memory) and
-prints/saves the campaign summary; ``info`` prints the Table-1 style
-summary only.
+prints/saves the campaign summary — with ``--store`` every finished
+cell persists immediately (crash-safe) and ``--resume`` re-runs only
+missing cells; ``campaign-status`` lists done/pending/failed cells of
+a stored grid; ``info`` prints the Table-1 style summary only.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ import cProfile
 import pstats
 import sys
 
-from .campaign import ParameterGrid, render_campaign, run_campaign
+from .campaign import CampaignStore, ParameterGrid, render_campaign, run_campaign
 from .core import dataset_summary
 from .core.render import render_report
 from .pcap import read_trace, write_trace
@@ -128,6 +133,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the summary to this path"
     )
     campaign.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="content-addressed cell store: results persist as they "
+        "complete (crash-safe), and --resume reuses them",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="answer cells already in --store without re-simulating",
+    )
+    campaign.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="with --resume, re-run cells that previously failed",
+    )
+    campaign.add_argument(
         "--list",
         action="store_true",
         help="list library scenarios and exit",
@@ -138,6 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a cProfile top-20 cumulative table after the sweep "
         "(forces --workers 1 so cell work is visible to the profiler)",
     )
+
+    status = sub.add_parser(
+        "campaign-status",
+        help="list done/pending/failed cells of a stored campaign grid",
+    )
+    status.add_argument(
+        "--store", required=True, metavar="DIR", help="campaign store directory"
+    )
+    status.add_argument(
+        "--scenario",
+        default=None,
+        help="grid scenario; with --vary/--fix/--seeds, pending cells "
+        "are computed against this grid (omit to list store contents)",
+    )
+    status.add_argument(
+        "--vary", action="append", default=[], metavar="KEY=V1,V2,..."
+    )
+    status.add_argument("--fix", action="append", default=[], metavar="KEY=VALUE")
+    status.add_argument("--seeds", type=int, default=1)
 
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
@@ -288,6 +329,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.chunk_frames < 1:
         print("--chunk-frames must be >= 1", file=sys.stderr)
         return 2
+    if (args.resume or args.retry_failed) and not args.store:
+        print("--resume/--retry-failed require --store DIR", file=sys.stderr)
+        return 2
     workers = args.workers
     if args.profile and workers != 1:
         print(
@@ -304,7 +348,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         with _profiled(args.profile):
             result = run_campaign(
-                grid, workers=workers, chunk_frames=args.chunk_frames
+                grid,
+                workers=workers,
+                chunk_frames=args.chunk_frames,
+                store_dir=args.store,
+                resume=args.resume,
+                retry_failed=args.retry_failed,
             )
     except (ValueError, TypeError) as error:
         print(f"campaign error: {error}", file=sys.stderr)
@@ -315,6 +364,64 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             handle.write(text)
         print(f"summary written to {args.out}", file=sys.stderr)
+    if result.failed:
+        print(
+            f"{len(result.failed)} cell(s) failed"
+            + (
+                f"; retry with --store {args.store} --resume --retry-failed"
+                if args.store
+                else ""
+            ),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store)
+    if args.scenario is not None:
+        if args.scenario not in available_scenarios():
+            print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
+            return 2
+        try:
+            grid = ParameterGrid(
+                args.scenario,
+                axes=_parse_assignments(args.vary, multi=True),
+                seeds=args.seeds,
+                fixed=_parse_assignments(args.fix, multi=False),
+            )
+        except (ValueError, TypeError) as error:
+            print(f"campaign error: {error}", file=sys.stderr)
+            return 2
+        status = store.status(grid.cells())
+        counts = status.counts
+        print(
+            f"{args.store}: {counts['done']} done, {counts['pending']} "
+            f"pending, {counts['failed']} failed of {len(grid)} cells"
+        )
+        for label, cells in (("done", status.done), ("pending", status.pending)):
+            for cell in cells:
+                print(f"  {label:8s} {cell.name}")
+        for failure in status.failed:
+            message = failure.error.splitlines()[0] if failure.error else ""
+            print(f"  {'failed':8s} {failure.name}  [{failure.error_type}: {message}]")
+        return 0
+    # No grid given: inventory whatever the store holds.
+    n_done = n_failed = 0
+    for record in store.records():
+        name = record.get("cell", {}).get("name", record.get("key", "?"))
+        if record["kind"] == "result":
+            n_done += 1
+            print(f"  {'done':8s} {name}")
+        else:
+            n_failed += 1
+            error = record.get("error", {})
+            print(
+                f"  {'failed':8s} {name}  "
+                f"[{error.get('type', '?')}: {error.get('message', '')}]"
+            )
+    print(f"{args.store}: {n_done} done, {n_failed} failed")
     return 0
 
 
@@ -329,6 +436,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "campaign": _cmd_campaign,
+    "campaign-status": _cmd_campaign_status,
     "info": _cmd_info,
 }
 

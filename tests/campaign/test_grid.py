@@ -69,3 +69,47 @@ class TestParameterGrid:
             )
         with pytest.raises(ValueError, match="seed"):
             ParameterGrid("ramp", seeds=0)
+
+
+class TestGridExtension:
+    BASE = ParameterGrid(
+        "ramp",
+        axes={"n_stations": [10, 20]},
+        seeds=2,
+        fixed={"duration_s": 2.0},
+    )
+
+    def test_extend_axis_keeps_every_original_cell(self):
+        grown = self.BASE.extend(axes={"n_stations": [40]})
+        assert len(grown) == 6
+        original = set(self.BASE.cells())
+        assert original <= set(grown.cells())
+
+    def test_extend_axis_ignores_duplicates(self):
+        grown = self.BASE.extend(axes={"n_stations": [20, 40]})
+        assert grown.axes["n_stations"] == [10, 20, 40]
+
+    def test_extend_seed_count(self):
+        grown = self.BASE.extend(seeds=3)
+        assert set(self.BASE.cells()) <= set(grown.cells())
+        assert grown.seed_values == (0, 1, 2)
+
+    def test_extend_explicit_seed_values(self):
+        base = ParameterGrid("ramp", seeds=[7, 11])
+        grown = base.extend(seeds=[11, 13])
+        assert grown.seed_values == (7, 11, 13)
+
+    def test_extend_validation(self):
+        with pytest.raises(ValueError, match="shrink"):
+            self.BASE.extend(seeds=1)
+        with pytest.raises(ValueError, match="explicit seed list"):
+            ParameterGrid("ramp", seeds=[7]).extend(seeds=4)
+
+    def test_new_cells_names_exactly_the_added_work(self):
+        grown = self.BASE.extend(axes={"n_stations": [40]}, seeds=3)
+        added = grown.new_cells(self.BASE)
+        assert set(grown.cells()) - set(self.BASE.cells()) == set(added)
+        assert all(
+            ("n_stations", 40) in c.params or c.seed == 2 for c in added
+        )
+        assert grown.new_cells(grown) == []

@@ -109,6 +109,47 @@ class TestRunCampaign:
         with pytest.raises(ValueError, match="no cells"):
             run_campaign([], workers=1)
 
+    def test_raising_cell_does_not_sink_completed_cells(self):
+        """Regression: a worker exception used to propagate out of the
+        pool and discard every finished result.  Now the failing cell's
+        config and traceback are captured and the rest complete."""
+        cells = [
+            CampaignCell("ramp", params=(("duration_s", 1.0),), seed=0),
+            CampaignCell(
+                "ramp", params=(("duration_s", 1.0), ("n_stations", -1)), seed=0
+            ),
+            CampaignCell("ramp", params=(("duration_s", 1.0),), seed=1),
+        ]
+        result = run_campaign(cells, workers=1)
+        assert [c.name for c in result.cells] == [cells[0].name, cells[2].name]
+        assert all(c.n_frames > 0 for c in result.cells)
+        (failure,) = result.failed
+        assert failure.name == cells[1].name
+        assert failure.error_type == "ValueError"
+        assert "n_stations" in str(dict(failure.cell.params))
+        assert "Traceback" in failure.traceback
+
+    def test_raising_cell_in_process_pool(self):
+        """Same regression through the pool path: the exception crosses
+        the process boundary as a record, the campaign completes."""
+        cells = [
+            CampaignCell("ramp", params=(("duration_s", 1.0),), seed=s)
+            for s in range(3)
+        ] + [
+            CampaignCell(
+                "ramp", params=(("duration_s", 1.0), ("n_stations", -1)), seed=0
+            )
+        ]
+        result = run_campaign(cells, workers=2)
+        assert len(result.cells) == 3
+        assert len(result.failed) == 1
+        assert result.failed[0].error_type == "ValueError"
+        # Summary keeps the failure visible instead of dropping it.
+        text = render_campaign(result, title="T")
+        assert "1 failed" in text
+        assert "ValueError" in text
+        assert result.failed[0].name in text
+
     def test_duplicate_cells_rejected(self):
         cell = CampaignCell(scenario="ramp", seed=1)
         with pytest.raises(ValueError, match="duplicate"):

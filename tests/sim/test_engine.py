@@ -179,6 +179,62 @@ class TestTombstoneCompaction:
         sim.run_all()
         assert fired == live
 
+    def test_cancel_all_then_run_small_heap(self):
+        """Degenerate heap below the compaction floor: every entry is a
+        tombstone.  run_all must drain cleanly — no IndexError, no
+        stall, no spurious executions."""
+        sim = Simulator()
+        handles = [sim.schedule_at(t, lambda: None) for t in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.events_pending == 0
+        sim.run_all()
+        assert sim.events_processed == 0
+        assert sim.events_cancelled == 10
+        assert sim.events_pending == 0
+        assert sim._heap == []
+        assert sim._tombstones == 0
+
+    def test_cancel_all_then_run_compacted_heap(self):
+        """Cancel-all across the compaction threshold: compaction fires
+        mid-cancellation, later cancels hit an already-rebuilt heap, and
+        the tombstone accounting stays exact."""
+        sim = Simulator()
+        handles = [sim.schedule_at(t, lambda: None) for t in range(500)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.events_cancelled == 500
+        assert sim.events_pending == 0
+        # Compaction kept the all-tombstone heap from retaining corpses.
+        assert len(sim._heap) < 500
+        sim.run_all()
+        assert sim.events_processed == 0
+        assert sim.events_cancelled == 500
+        assert sim.events_pending == 0
+        assert sim._tombstones == 0
+
+    def test_cancel_all_then_schedule_and_run(self):
+        """The engine stays fully usable after a cancel-all sweep."""
+        sim = Simulator()
+        for handle in [sim.schedule_at(t, lambda: None) for t in range(200)]:
+            handle.cancel()
+        fired = []
+        sim.schedule_at(10_000, lambda: fired.append(sim.now_us))
+        sim.run_until(20_000)
+        assert fired == [10_000]
+        assert sim.events_processed == 1
+        assert sim.events_cancelled == 200
+        assert sim.now_us == 20_000
+
+    def test_run_until_over_all_tombstones_advances_clock(self):
+        sim = Simulator()
+        for handle in [sim.schedule_at(500, lambda: None) for _ in range(80)]:
+            handle.cancel()
+        sim.run_until(1_000)
+        assert sim.now_us == 1_000
+        assert sim.events_processed == 0
+        assert sim.events_pending == 0
+
     def test_cancel_heavy_rtscts_run_keeps_heap_lean(self):
         """An all-RTS/CTS network cancels a timeout per delivered frame;
         the heap must stay proportional to pending work and the counters

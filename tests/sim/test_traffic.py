@@ -174,3 +174,95 @@ class TestRngStreamEquivalence:
             expected.append(int(b.integers(low, high + 1)))
         assert got == expected
         assert a.bit_generator.state == b.bit_generator.state
+
+
+def _reference_lazy_arrivals(schedule, sizes, rng, end_us):
+    """The pre-batching lazy arrival loop, statement for statement.
+
+    Replicates the state machine ``PoissonSource._refill`` pre-generates
+    (idle 'loop' ticks poll every 100 ms without touching the RNG; an
+    emission draws its size first, then the gap at the post-emission
+    rate) — the reference the batch path must match draw for draw,
+    including the shared ``max(1, gap)`` clamp.
+    """
+    from repro.sim.traffic import _poisson_gap_us
+
+    arrivals = []
+    kind, t = "loop", 0
+    while kind is not None:
+        if kind == "emit":
+            if t < end_us:
+                arrivals.append((t, sizes(rng)))
+                rate = schedule.rate_at(t)
+                if rate <= 0:
+                    kind, t = "loop", t + 100_000
+                else:
+                    t += _poisson_gap_us(rng, rate)
+            else:
+                kind = None
+        else:
+            if t >= end_us:
+                kind = None
+            else:
+                rate = schedule.rate_at(t)
+                if rate <= 0:
+                    t += 100_000
+                else:
+                    kind, t = "emit", t + _poisson_gap_us(rng, rate)
+    return arrivals
+
+
+class TestLazyBatchEquivalence:
+    """The batch-pregenerated arrival path must emit the exact stream the
+    lazy loop would have — same times, same sizes, same RNG consumption —
+    because the two share one gap helper (``_poisson_gap_us``)."""
+
+    def _batch_arrivals(self, schedule, end_us, seed, run_us):
+        sim = Simulator()
+        arrivals = []
+
+        def enqueue(dst, size, ftype):
+            arrivals.append((sim.now_us, size))
+            return True
+
+        PoissonSource(
+            sim=sim,
+            enqueue=enqueue,
+            dst=1,
+            schedule=schedule,
+            sizes=uniform_sizes(60, 1500),
+            rng=np.random.default_rng(seed),
+            end_us=end_us,
+        )
+        sim.run_until(run_us)
+        return arrivals
+
+    def test_batch_matches_lazy_reference_at_moderate_rate(self):
+        schedule = ConstantRate(400.0)
+        got = self._batch_arrivals(schedule, end_us=5_000_000, seed=21,
+                                   run_us=6_000_000)
+        expected = _reference_lazy_arrivals(
+            schedule, uniform_sizes(60, 1500), np.random.default_rng(21),
+            end_us=5_000_000,
+        )
+        assert len(got) > 1_000  # spans several 512-event refill batches
+        assert got == expected
+
+    def test_batch_matches_lazy_reference_under_gap_clamp(self):
+        """Rate high enough that raw exponential gaps round to 0 µs and
+        the max(1, ...) clamp engages: both paths must clamp alike."""
+        schedule = ConstantRate(5_000_000.0)  # mean gap 0.2 µs
+        got = self._batch_arrivals(schedule, end_us=3_000, seed=9,
+                                   run_us=10_000)
+        expected = _reference_lazy_arrivals(
+            schedule, uniform_sizes(60, 1500), np.random.default_rng(9),
+            end_us=3_000,
+        )
+        assert got == expected
+        times = np.array([t for t, _ in got])
+        gaps = np.diff(times)
+        # The clamp is actually exercised: arrivals march at the 1 µs
+        # floor (any unclamped draw would average five per microsecond).
+        assert len(got) > 1_500
+        assert (gaps >= 1).all()
+        assert (gaps == 1).mean() > 0.5
