@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: simulate a small congested WLAN and analyze it.
 
-Runs a one-AP, eight-station 802.11b cell for 20 simulated seconds,
-captures the traffic with a vicinity sniffer (exactly as the paper's
-monitoring laptops did), and streams the capture once through
-:func:`repro.pipeline.run_all` to get the full congestion analysis:
-utilization, congestion classes, throughput/goodput, and the headline
-link-layer effects.
+One ``repro.api`` experiment: a one-AP, eight-station 802.11b cell runs
+for 20 simulated seconds, a vicinity sniffer captures the traffic
+(exactly as the paper's monitoring laptops did), and the capture goes
+once through the single-pass analysis pipeline for the full congestion
+report: utilization, congestion classes, throughput/goodput, and the
+headline link-layer effects.
+
+The same experiment as a declarative spec file lives at
+``examples/specs/quickstart.toml`` — run it with
+``repro run examples/specs/quickstart.toml``.
 
 Usage::
 
@@ -15,31 +19,35 @@ Usage::
 
 from __future__ import annotations
 
+from repro.api import Experiment
 from repro.core import CongestionLevel
-from repro.pipeline import run_all
-from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 from repro.viz import line_chart, table
 
 
 def main() -> None:
-    config = ScenarioConfig(
+    experiment = Experiment.scenario(
+        "uniform",
         n_stations=8,
         n_aps=1,
         duration_s=20.0,
         seed=7,
-        uplink=ConstantRate(8.0),
-        downlink=ConstantRate(18.0),
+        uplink_pps=8.0,
+        downlink_pps=18.0,
         obstructed_fraction=0.25,   # a couple of users on marginal links
         rtscts_fraction=0.125,      # one RTS/CTS user, like the IETF floor
-    )
-    print(f"simulating {config.n_stations} stations for {config.duration_s:.0f} s ...")
-    result = run_scenario(config)
+    ).named("quickstart")
+
+    spec = experiment.spec()
+    print(f"simulating scenario {spec.scenario!r} for 20 s ...")
+    result = experiment.run(keep_trace=True)
+
+    sim = result.scenario_result
     print(
-        f"captured {len(result.trace)} of {len(result.ground_truth)} frames "
-        f"({result.capture_ratio:.0%})"
+        f"captured {len(sim.trace)} of {len(sim.ground_truth)} frames "
+        f"({sim.capture_ratio:.0%})"
     )
 
-    report = run_all(result.trace, result.roster, name="quickstart")
+    report = result.report
 
     print()
     print(table([report.summary.as_row()], title="Capture summary (Table 1 style)"))
@@ -69,6 +77,11 @@ def main() -> None:
           f"at {headline['throughput_peak_utilization']:.0f} % utilization")
     print(f"  unrecorded frames   {headline['unrecorded_percent']:.1f} % "
           "(paper §4.4 atomicity estimate)")
+
+    # Any experiment serializes to a re-runnable spec file:
+    print()
+    print("-- equivalent spec (repro run <file>.toml) " + "-" * 20)
+    print(spec.to_toml(), end="")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,10 @@ schemes instead.  This study runs the same congested cell under four
 policies — ARF, AARF, an SNR oracle and fixed-11 — at several offered
 loads and reports goodput, 1 Mbps airtime, and delivery ratio.
 
+Built on ``repro.api``: one base experiment, forked per (policy, load)
+cell with ``.fix(...)``; the buffered simulation is kept so the study
+can read ground truth and per-station MAC counters directly.
+
 Usage::
 
     python examples/rate_adaptation_study.py
@@ -17,42 +21,48 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Experiment
 from repro.core import goodput_per_second, utilization_series
 from repro.frames import FrameType
-from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 from repro.viz import table
 
 POLICIES = ("arf", "aarf", "snr", "fixed")
 LOADS_PPS = (6.0, 14.0, 24.0)
 
+#: The congested cell every (policy, load) point shares.
+BASE = Experiment.scenario(
+    "uniform",
+    n_stations=12,
+    duration_s=20.0,
+    seed=41,
+    obstructed_fraction=0.25,
+).fix(
+    room_width_m=36.0,
+    room_depth_m=24.0,
+    shadowing_sigma_db=6.0,
+    path_loss_exponent=3.2,
+    station_tx_power_dbm=12.0,
+).analyses("summary")  # the study reads the sim directly; skip the full report
+
 
 def run_cell(policy: str, downlink_pps: float) -> dict:
-    config = ScenarioConfig(
-        n_stations=12,
-        duration_s=20.0,
-        seed=41,
-        room_width_m=36.0,
-        room_depth_m=24.0,
-        shadowing_sigma_db=6.0,
-        path_loss_exponent=3.2,
-        station_tx_power_dbm=12.0,
+    experiment = BASE.fix(
         rate_algorithm=policy,
         rate_adaptation_kwargs=(
             {"up_threshold": 5, "down_threshold": 3}
             if policy in ("arf", "aarf")
             else {}
         ),
-        obstructed_fraction=0.25,
-        uplink=ConstantRate(downlink_pps / 3.0),
-        downlink=ConstantRate(downlink_pps),
+        uplink_pps=downlink_pps / 3.0,
+        downlink_pps=downlink_pps,
     )
-    result = run_scenario(config)
-    truth = result.ground_truth
+    sim = experiment.run(keep_trace=True).scenario_result
+    truth = sim.ground_truth
     data = truth.only_type(FrameType.DATA)
-    attempts = sum(s.mac.stats.data_attempts for s in result.stations)
-    attempts += result.aps[0].mac.stats.data_attempts
-    successes = sum(s.mac.stats.data_successes for s in result.stations)
-    successes += result.aps[0].mac.stats.data_successes
+    attempts = sum(s.mac.stats.data_attempts for s in sim.stations)
+    attempts += sim.aps[0].mac.stats.data_attempts
+    successes = sum(s.mac.stats.data_successes for s in sim.stations)
+    successes += sim.aps[0].mac.stats.data_successes
     return {
         "policy": policy,
         "offered_pps": downlink_pps,

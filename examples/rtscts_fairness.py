@@ -8,6 +8,10 @@ This experiment sweeps the fraction of RTS/CTS stations under a
 congested uplink and reports the fairness index
 (goodput share / population share) of the handshake users.
 
+Each sweep point is one ``repro.api`` experiment (the base experiment
+is forked per fraction with ``.fix(rtscts_fraction=...)``); the buffered
+trace is kept so the §6.1 fairness analysis can run on it directly.
+
 Usage::
 
     python examples/rtscts_fairness.py
@@ -15,33 +19,38 @@ Usage::
 
 from __future__ import annotations
 
+from repro.api import Experiment
 from repro.core import rts_cts_fairness
 from repro.frames import FrameType
-from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 from repro.viz import bar_chart, table
 
 FRACTIONS = (0.125, 0.25, 0.5, 1.0)
 
+#: The congested-uplink cell every sweep point shares.
+BASE = Experiment.scenario(
+    "uniform",
+    n_stations=16,
+    duration_s=20.0,
+    seed=53,
+    uplink_pps=20.0,   # uplink-heavy: stations contend hard
+    downlink_pps=2.0,
+    obstructed_fraction=0.0,
+).fix(
+    room_width_m=36.0,
+    room_depth_m=24.0,
+    shadowing_sigma_db=6.0,
+    path_loss_exponent=3.2,
+    station_tx_power_dbm=12.0,
+    rate_adaptation_kwargs={"up_threshold": 5, "down_threshold": 3},
+).analyses("summary")  # fairness reads the trace directly; skip the full report
+
 
 def run_fraction(fraction: float) -> dict:
-    config = ScenarioConfig(
-        n_stations=16,
-        duration_s=20.0,
-        seed=53,
-        room_width_m=36.0,
-        room_depth_m=24.0,
-        shadowing_sigma_db=6.0,
-        path_loss_exponent=3.2,
-        station_tx_power_dbm=12.0,
-        rate_adaptation_kwargs={"up_threshold": 5, "down_threshold": 3},
-        rtscts_fraction=fraction,
-        uplink=ConstantRate(20.0),   # uplink-heavy: stations contend hard
-        downlink=ConstantRate(2.0),
-    )
-    result = run_scenario(config)
-    fairness = rts_cts_fairness(result.trace, result.roster)
-    rts = len(result.trace.only_type(FrameType.RTS))
-    cts = len(result.trace.only_type(FrameType.CTS))
+    result = BASE.fix(rtscts_fraction=fraction).run(keep_trace=True)
+    sim = result.scenario_result
+    fairness = rts_cts_fairness(sim.trace, sim.roster)
+    rts = len(sim.trace.only_type(FrameType.RTS))
+    cts = len(sim.trace.only_type(FrameType.CTS))
     return {
         "rtscts_fraction": fraction,
         "pop_share": round(fairness.rtscts_population, 3),

@@ -2,30 +2,81 @@
 Wireless Networks" (Jardosh, Ramachandran, Almeroth, Belding-Royer;
 IMC 2005).
 
+The one front door is :mod:`repro.api` — experiments built fluently or
+from declarative spec files, returning uniform typed results:
+
+>>> from repro import Experiment
+>>> exp = Experiment.scenario("ramp").vary(n_stations=[10, 20]).seeds(2)
+>>> len(exp.cells())
+4
+>>> report = Experiment.scenario("uniform", n_stations=8,
+...                              duration_s=5.0).run().report  # doctest: +SKIP
+
+CLI: ``repro run study.toml`` (or ``python -m repro run study.toml``).
+
 Subpackages
 -----------
+``repro.api``       unified experiment layer: specs, fluent builder,
+                    typed results (start here).
 ``repro.core``      the paper's contribution: channel busy-time,
                     utilization, congestion classification and the §6
                     link-layer effect analyses.
-``repro.frames``    802.11 frame model and columnar trace container.
+``repro.pipeline``  single-pass streaming analysis executor.
 ``repro.sim``       discrete-event IEEE 802.11b DCF network simulator
-                    (the testbed substitute that generates traces).
+                    with the named scenario library.
+``repro.campaign``  parameter-grid sweeps: process pool + resumable
+                    content-addressed store.
+``repro.frames``    802.11 frame model and columnar trace container.
 ``repro.pcap``      pcap + radiotap + 802.11 header codec.
 ``repro.analysis``  numpy columnar tables, binning, knee detection.
 ``repro.baselines`` analytical comparators (Jun TMT, Heusse anomaly,
                     Cantieni finite-load model, beacon reliability).
 ``repro.viz``       ASCII chart rendering for terminal reports.
 
-Quickstart
-----------
->>> from repro.sim import ScenarioConfig, run_scenario
->>> from repro.core import analyze_trace
->>> result = run_scenario(ScenarioConfig(n_stations=8, duration_s=5))
->>> report = analyze_trace(result.trace, result.roster)
->>> report.thresholds.high  # doctest: +SKIP
-84.0
+The deeper entry points (``repro.pipeline.run_all``,
+``repro.campaign.run_campaign``, ``repro.sim.run_scenario`` ...) remain
+first-class public API — the api layer routes to them unchanged.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from .api import (
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    SpecError,
+    load_spec,
+    run_spec,
+)
+from .campaign import CampaignStore, ParameterGrid, render_campaign, run_campaign
+from .core import analyze_trace
+from .core.render import render_report
+from .pipeline import run_all, run_batch
+from .sim import (
+    ScenarioConfig,
+    available_scenarios,
+    build_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "CampaignStore",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ParameterGrid",
+    "ScenarioConfig",
+    "SpecError",
+    "__version__",
+    "analyze_trace",
+    "available_scenarios",
+    "build_scenario",
+    "load_spec",
+    "render_campaign",
+    "render_report",
+    "run_all",
+    "run_batch",
+    "run_campaign",
+    "run_scenario",
+    "run_spec",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro`` — the toolkit CLI (same as the ``repro`` script).
+
+Delegates to :mod:`repro.tools`, so ``python -m repro run study.toml``,
+``python -m repro.tools run study.toml`` and ``repro run study.toml``
+are the same program.
+"""
+
+from .tools import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

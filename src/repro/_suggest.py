@@ -1,0 +1,32 @@
+"""Shared "did you mean ...?" error-message helper.
+
+Every name-keyed surface (scenario library parameters, pipeline
+consumer names, spec-file keys) fails the same way: with the close
+matches first and the full valid vocabulary after, so a typo costs one
+glance instead of a traceback dive.
+"""
+
+from __future__ import annotations
+
+from difflib import get_close_matches
+from typing import Iterable
+
+__all__ = ["suggest", "unknown_name_message"]
+
+
+def suggest(name: str, options: Iterable[str], n: int = 3) -> list[str]:
+    """Closest valid names to ``name``, best first (possibly empty)."""
+    return get_close_matches(name, list(options), n=n, cutoff=0.5)
+
+
+def unknown_name_message(
+    kind: str, name: str, options: Iterable[str]
+) -> str:
+    """Uniform unknown-name diagnostic: suggestion plus the full list."""
+    options = sorted(options)
+    close = suggest(name, options)
+    hint = f" — did you mean {', '.join(repr(c) for c in close)}?" if close else ""
+    return (
+        f"unknown {kind} {name!r}{hint} "
+        f"(valid: {', '.join(options)})"
+    )

@@ -1,0 +1,47 @@
+"""repro.api — the unified experiment layer (the one front door).
+
+One object model spans the whole system: an **experiment** is a source
+(library scenario, pcap captures) × an analysis selection × an optional
+campaign grid and store.  Build it fluently::
+
+    from repro.api import Experiment
+
+    result = (
+        Experiment.scenario("ramp")
+        .vary(n_stations=[10, 30, 60])
+        .seeds(4)
+        .run(workers=4, store_dir="campaign-store")
+    )
+
+or declaratively from a spec file (stdlib TOML/JSON, no new deps)::
+
+    result = Experiment.from_spec("study.toml").run()
+
+Execution routes to the pre-existing layers — the single-pass streaming
+pipeline, the composable simulator, the resumable campaign runner — and
+returns a uniform typed :class:`~repro.api.result.ExperimentResult`
+(reports, per-cell table, knees, perf counters, provenance) with
+``.render()``, ``.to_json()`` and a round-trip ``.spec()``.
+
+CLI equivalents: ``repro run study.toml`` / ``python -m repro run
+study.toml`` (see :mod:`repro.tools`).
+"""
+
+from ..pipeline import available_consumers as available_analyses
+from ..sim import UnknownParameterError, available_scenarios, scenario_parameters
+from .experiment import Experiment, run_spec
+from .result import ExperimentResult
+from .spec import ExperimentSpec, SpecError, load_spec
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SpecError",
+    "UnknownParameterError",
+    "available_analyses",
+    "available_scenarios",
+    "load_spec",
+    "run_spec",
+    "scenario_parameters",
+]

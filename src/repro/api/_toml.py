@@ -1,0 +1,86 @@
+"""Minimal TOML *emitter* for experiment specs.
+
+The stdlib ships a TOML reader (``tomllib``) but no writer; spec
+round-tripping (``ExperimentSpec.to_toml`` → ``tomllib.loads``) needs
+one.  This emitter covers exactly the value vocabulary a spec may
+contain — strings, ints, floats, booleans, lists of those, and string-
+keyed tables (emitted inline) — and refuses anything else loudly, so a
+fluent experiment holding live Python objects (e.g. a rate-schedule
+instance) fails serialization with a clear message instead of writing
+a file ``tomllib`` cannot read back.
+
+>>> import tomllib
+>>> text = dumps({"scenario": "ramp", "vary": {"n_stations": [10, 20]}})
+>>> tomllib.loads(text) == {"scenario": "ramp", "vary": {"n_stations": [10, 20]}}
+True
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Mapping
+
+__all__ = ["dumps"]
+
+_BARE_KEY_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_"
+)
+
+
+def _key(key: object) -> str:
+    if not isinstance(key, str) or not key:
+        raise TypeError(f"TOML keys must be non-empty strings, got {key!r}")
+    if set(key) <= _BARE_KEY_CHARS:
+        return key
+    return json.dumps(key)
+
+
+def _value(value: object, context: str) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise TypeError(f"non-finite float in spec at {context}: {value!r}")
+        return repr(value)
+    if isinstance(value, str):
+        # JSON string escaping is a subset of TOML basic-string syntax.
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        items = [_value(v, context) for v in value]
+        return "[" + ", ".join(items) + "]"
+    if isinstance(value, Mapping):
+        pairs = [f"{_key(k)} = {_value(v, f'{context}.{k}')}" for k, v in value.items()]
+        return "{" + ", ".join(pairs) + "}"
+    raise TypeError(
+        f"value at {context} is not TOML-serializable: {value!r} "
+        f"({type(value).__name__}); spec files hold scalars, lists and "
+        f"tables — use scenario parameters (e.g. uplink_pps) instead of "
+        f"live objects"
+    )
+
+
+def dumps(data: Mapping[str, object]) -> str:
+    """Serialize a two-level mapping as TOML text.
+
+    Top-level scalar/list values become key-value pairs; top-level
+    mappings become ``[section]`` tables (their nested mappings are
+    emitted as inline tables).
+    """
+    scalars: list[str] = []
+    tables: list[str] = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            lines = [f"[{_key(key)}]"]
+            for sub_key, sub_value in value.items():
+                lines.append(
+                    f"{_key(sub_key)} = {_value(sub_value, f'{key}.{sub_key}')}"
+                )
+            tables.append("\n".join(lines))
+        else:
+            scalars.append(f"{_key(key)} = {_value(value, str(key))}")
+    parts = ["\n".join(scalars)] if scalars else []
+    parts.extend(tables)
+    return "\n\n".join(parts) + "\n"

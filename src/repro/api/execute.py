@@ -1,0 +1,189 @@
+"""Spec execution: route one validated spec to the right subsystem.
+
+This is deliberately a *thin* router: analysis specs call
+:func:`repro.pipeline.run_batch`/:func:`~repro.pipeline.run_consumers`,
+campaign specs call :func:`repro.campaign.run_campaign` on the grid the
+spec describes, and single-scenario specs stream one built scenario
+through :func:`repro.pipeline.run_all` — the same calls a hand-written
+script would make, with the same defaults, so spec-driven results are
+numerically identical to direct use of the underlying layers
+(equivalence-tested in ``tests/api/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .result import ExperimentResult
+from .spec import ExperimentSpec
+
+__all__ = ["execute", "grid_for"]
+
+
+def grid_for(spec: ExperimentSpec):
+    """The :class:`~repro.campaign.grid.ParameterGrid` a campaign spec
+    describes — exactly the grid a hand-built ``run_campaign`` call
+    would use, so store keys and cell names match bit for bit."""
+    from ..campaign import ParameterGrid
+
+    return ParameterGrid(
+        spec.scenario,
+        axes={key: list(values) for key, values in spec.vary},
+        seeds=spec.seeds if spec.seeds is not None else 1,
+        fixed=dict(spec.params),
+    )
+
+
+def _named_sources(spec: ExperimentSpec) -> list[tuple[str, str]]:
+    """Display-name/path pairs for pcap analysis, names de-duplicated.
+
+    A single capture takes the spec's name as its report title;
+    repeated paths get ``#2``, ``#3``... suffixes because downstream
+    results are keyed by name.
+    """
+    sources: list[tuple[str, str]] = []
+    used: set[str] = set()
+    for path in spec.pcaps:
+        base = spec.name or path if len(spec.pcaps) == 1 else path
+        name, suffix = base, 2
+        while name in used:
+            name = f"{base}#{suffix}"
+            suffix += 1
+        used.add(name)
+        sources.append((name, path))
+    return sources
+
+
+def _subset_item(job):
+    """Module-level subset worker (picklable for process pools)."""
+    name, path, names, chunk = job
+    from ..pipeline import run_consumers
+
+    return name, run_consumers(path, names, name=name, chunk_frames=chunk)
+
+
+def _execute_analysis(spec: ExperimentSpec) -> ExperimentResult:
+    from concurrent.futures import ProcessPoolExecutor
+
+    from ..pipeline import (
+        DEFAULT_CHUNK_FRAMES,
+        resolve_consumer_names,
+        run_batch,
+    )
+
+    sources = _named_sources(spec)
+    chunk = spec.chunk_frames or DEFAULT_CHUNK_FRAMES
+    start = time.perf_counter()
+    if spec.analyses and tuple(spec.analyses) != ("all",):
+        names = resolve_consumer_names(spec.analyses)
+        jobs = [(name, path, names, chunk) for name, path in sources]
+        # Same worker semantics as the full-report run_batch path:
+        # one process per capture, each streaming its pcap from disk.
+        if len(jobs) <= 1 or spec.workers == 1:
+            metrics = dict(map(_subset_item, jobs))
+        else:
+            with ProcessPoolExecutor(max_workers=spec.workers) as pool:
+                metrics = dict(pool.map(_subset_item, jobs))
+        return ExperimentResult(
+            spec,
+            "analysis",
+            metrics=metrics,
+            sources=tuple(sources),
+            elapsed_s=time.perf_counter() - start,
+        )
+    reports = run_batch(sources, max_workers=spec.workers, chunk_frames=chunk)
+    return ExperimentResult(
+        spec,
+        "analysis",
+        reports=reports,
+        sources=tuple(sources),
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _execute_single(spec: ExperimentSpec, keep_trace: bool) -> ExperimentResult:
+    from ..pipeline import resolve_consumer_names, run_all, run_consumers
+    from ..sim import build_scenario
+
+    name = spec.name or spec.scenario
+    start = time.perf_counter()
+    built = build_scenario(spec.scenario, **dict(spec.params))
+    roster = built.roster
+    scenario_result = None
+    if keep_trace:
+        scenario_result = built.run()
+        source = scenario_result.trace
+    elif spec.chunk_frames is not None:
+        source = built.stream(chunk_frames=spec.chunk_frames)
+    else:
+        source = built.stream()
+    if spec.analyses and tuple(spec.analyses) != ("all",):
+        names = resolve_consumer_names(spec.analyses)
+        metrics = {name: run_consumers(source, names, name=name, roster=roster)}
+        return ExperimentResult(
+            spec,
+            "single",
+            metrics=metrics,
+            scenario_result=scenario_result,
+            elapsed_s=time.perf_counter() - start,
+        )
+    report = run_all(source, roster=roster, name=name)
+    return ExperimentResult(
+        spec,
+        "single",
+        reports={name: report},
+        scenario_result=scenario_result,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def _execute_campaign(spec: ExperimentSpec) -> ExperimentResult:
+    from ..campaign import run_campaign
+    from ..campaign.runner import CELL_CHUNK_FRAMES
+
+    grid = grid_for(spec).validate()
+    start = time.perf_counter()
+    campaign = run_campaign(
+        grid,
+        workers=spec.workers,
+        chunk_frames=spec.chunk_frames or CELL_CHUNK_FRAMES,
+        keep_reports=spec.keep_reports,
+        store_dir=spec.store,
+        resume=spec.resume,
+        retry_failed=spec.retry_failed,
+    )
+    reports = {}
+    if spec.keep_reports:
+        reports = {
+            cell.name: cell.report
+            for cell in campaign.cells
+            if cell.report is not None
+        }
+    return ExperimentResult(
+        spec,
+        "campaign",
+        reports=reports,
+        campaign=campaign,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def execute(spec: ExperimentSpec, *, keep_trace: bool = False) -> ExperimentResult:
+    """Validate ``spec`` and run it, returning an :class:`ExperimentResult`.
+
+    ``keep_trace`` (single-scenario mode only) runs the simulation
+    buffered and attaches the full :class:`~repro.sim.ScenarioResult`
+    so the capture can be written out as a pcap.
+    """
+    spec.validate()
+    mode = spec.mode
+    if keep_trace and mode != "single":
+        raise ValueError(
+            "keep_trace applies to single-scenario experiments "
+            f"(this spec is {mode!r})"
+        )
+    if mode == "analysis":
+        return _execute_analysis(spec)
+    if mode == "campaign":
+        return _execute_campaign(spec)
+    return _execute_single(spec, keep_trace)

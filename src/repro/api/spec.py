@@ -1,0 +1,390 @@
+"""Declarative experiment specs: one file == one reproducible study.
+
+An :class:`ExperimentSpec` is the value object behind the whole
+``repro.api`` layer: the fluent :class:`~repro.api.experiment.Experiment`
+builder accumulates one, spec *files* (TOML via stdlib ``tomllib``, or
+JSON) parse into one, and every
+:class:`~repro.api.result.ExperimentResult` carries the resolved spec
+it ran — so any result can be re-run bit-exactly from
+``result.spec()``.
+
+A spec file is at most four tables::
+
+    # study.toml — a 10-line campaign
+    name = "ramp-sweep"
+    scenario = "ramp"
+    seeds = 2
+
+    [vary]
+    n_stations = [10, 20, 40]
+
+    [params]
+    duration_s = 12.0
+
+    [run]
+    workers = 4
+
+``scenario`` names a library scenario (``repro.sim.available_scenarios``);
+``pcaps = ["a.pcap", ...]`` analyzes captures instead.  ``[params]``
+fixes scenario parameters for every cell, ``[vary]`` declares sweep
+axes, ``seeds`` multiplies the grid, and ``[run]`` holds execution
+options (workers, chunk_frames, store, resume, retry_failed,
+keep_reports).  Unknown keys anywhere fail with a "did you mean ...?"
+error before anything runs.
+
+>>> spec = ExperimentSpec.from_toml(
+...     'scenario = "ramp"\\nseeds = 2\\n[vary]\\nn_stations = [10, 20]\\n'
+... )
+>>> spec.mode
+'campaign'
+>>> ExperimentSpec.from_toml(spec.to_toml()) == spec
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .._suggest import unknown_name_message
+from . import _toml
+
+__all__ = ["ExperimentSpec", "SpecError", "load_spec"]
+
+
+class SpecError(ValueError):
+    """An experiment spec that cannot be parsed or validated."""
+
+
+#: Keys allowed at the top level of a spec mapping/file.
+_TOP_KEYS = ("name", "scenario", "pcaps", "seeds", "analyses", "params", "vary", "run")
+
+#: Keys allowed inside the ``[run]`` table.
+_RUN_KEYS = (
+    "workers",
+    "chunk_frames",
+    "store",
+    "resume",
+    "retry_failed",
+    "keep_reports",
+)
+
+
+def _err(message: str, source: str | None) -> SpecError:
+    prefix = f"{source}: " if source else ""
+    return SpecError(prefix + message)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Immutable description of one experiment (see module docstring).
+
+    ``params`` and ``vary`` are stored as tuples of pairs so specs are
+    hashable and order-stable (axis order decides cell naming order);
+    mappings are accepted everywhere one is constructed.
+    """
+
+    scenario: str | None = None
+    pcaps: tuple[str, ...] = ()
+    name: str | None = None
+    params: tuple[tuple[str, object], ...] = ()
+    vary: tuple[tuple[str, tuple[object, ...]], ...] = ()
+    seeds: int | tuple[int, ...] | None = None
+    analyses: tuple[str, ...] = ()
+    workers: int | None = None
+    chunk_frames: int | None = None
+    store: str | None = None
+    resume: bool = True
+    retry_failed: bool = False
+    keep_reports: bool = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(
+        cls, data: Mapping[str, object], *, source: str | None = None
+    ) -> "ExperimentSpec":
+        """Build a spec from the file-format mapping, strictly.
+
+        Every unknown key — top level, ``[run]`` — raises
+        :class:`SpecError` with a "did you mean ...?" suggestion;
+        scenario *parameter* names are checked later by
+        :meth:`validate` (they need the scenario library).
+        """
+        if not isinstance(data, Mapping):
+            raise _err(f"spec must be a mapping, got {type(data).__name__}", source)
+        for key in data:
+            if key not in _TOP_KEYS:
+                raise _err(unknown_name_message("spec key", str(key), _TOP_KEYS), source)
+
+        def typed(key, kinds, kind_name, default=None):
+            value = data.get(key, default)
+            if value is not None and not isinstance(value, kinds):
+                raise _err(f"{key!r} must be {kind_name}, got {value!r}", source)
+            return value
+
+        scenario = typed("scenario", str, "a scenario name string")
+        name = typed("name", str, "a string")
+
+        pcaps_raw = data.get("pcaps", ())
+        if isinstance(pcaps_raw, (str, Path)):
+            pcaps_raw = [pcaps_raw]
+        if not isinstance(pcaps_raw, Sequence) or not all(
+            isinstance(p, (str, Path)) for p in pcaps_raw
+        ):
+            raise _err(f"'pcaps' must be a list of paths, got {pcaps_raw!r}", source)
+        pcaps = tuple(str(p) for p in pcaps_raw)
+
+        seeds_raw = data.get("seeds")
+        seeds: int | tuple[int, ...] | None
+        if seeds_raw is None:
+            seeds = None
+        elif isinstance(seeds_raw, bool) or not isinstance(
+            seeds_raw, (int, Sequence)
+        ):
+            raise _err(f"'seeds' must be an int or a list of ints, got {seeds_raw!r}", source)
+        elif isinstance(seeds_raw, int):
+            seeds = seeds_raw
+        else:
+            if not all(isinstance(s, int) and not isinstance(s, bool) for s in seeds_raw):
+                raise _err(f"'seeds' list must hold ints, got {seeds_raw!r}", source)
+            seeds = tuple(int(s) for s in seeds_raw)
+
+        analyses_raw = data.get("analyses", ())
+        if isinstance(analyses_raw, str):
+            analyses_raw = [analyses_raw]
+        if not isinstance(analyses_raw, Sequence) or not all(
+            isinstance(a, str) for a in analyses_raw
+        ):
+            raise _err(f"'analyses' must be a list of names, got {analyses_raw!r}", source)
+
+        params_raw = data.get("params", {})
+        if not isinstance(params_raw, Mapping):
+            raise _err(f"[params] must be a table, got {params_raw!r}", source)
+        vary_raw = data.get("vary", {})
+        if not isinstance(vary_raw, Mapping):
+            raise _err(f"[vary] must be a table, got {vary_raw!r}", source)
+        vary: list[tuple[str, tuple[object, ...]]] = []
+        for key, values in vary_raw.items():
+            if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+                raise _err(
+                    f"vary axis {key!r} must be a list of values, got {values!r}",
+                    source,
+                )
+            vary.append((str(key), tuple(values)))
+
+        run_raw = data.get("run", {})
+        if not isinstance(run_raw, Mapping):
+            raise _err(f"[run] must be a table, got {run_raw!r}", source)
+        for key in run_raw:
+            if key not in _RUN_KEYS:
+                raise _err(unknown_name_message("run option", str(key), _RUN_KEYS), source)
+
+        def run_opt(key, kinds, kind_name, default=None):
+            value = run_raw.get(key, default)
+            if value is not None and (
+                not isinstance(value, kinds) or isinstance(value, bool) != (kinds is bool)
+            ):
+                raise _err(f"run option {key!r} must be {kind_name}, got {value!r}", source)
+            return value
+
+        return cls(
+            scenario=scenario,
+            pcaps=pcaps,
+            name=name,
+            params=tuple((str(k), v) for k, v in params_raw.items()),
+            vary=tuple(vary),
+            seeds=seeds,
+            analyses=tuple(analyses_raw),
+            workers=run_opt("workers", int, "an int"),
+            chunk_frames=run_opt("chunk_frames", int, "an int"),
+            store=run_opt("store", str, "a directory path string"),
+            resume=run_opt("resume", bool, "a boolean", True),
+            retry_failed=run_opt("retry_failed", bool, "a boolean", False),
+            keep_reports=run_opt("keep_reports", bool, "a boolean", False),
+        )
+
+    @classmethod
+    def from_toml(cls, text: str, *, source: str | None = None) -> "ExperimentSpec":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise _err(f"invalid TOML: {error}", source) from None
+        return cls.from_mapping(data, source=source)
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str | None = None) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise _err(f"invalid JSON: {error}", source) from None
+        return cls.from_mapping(data, source=source)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a ``.toml`` or ``.json`` spec file (by extension)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise SpecError(f"cannot read spec {path}: {error}") from None
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            return cls.from_toml(text, source=str(path))
+        if suffix == ".json":
+            return cls.from_json(text, source=str(path))
+        raise SpecError(
+            f"unsupported spec extension {suffix!r} for {path} "
+            f"(use .toml or .json)"
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_mapping(self) -> dict[str, object]:
+        """The file-format mapping (inverse of :meth:`from_mapping`)."""
+        out: dict[str, object] = {}
+        if self.name is not None:
+            out["name"] = self.name
+        if self.scenario is not None:
+            out["scenario"] = self.scenario
+        if self.pcaps:
+            out["pcaps"] = list(self.pcaps)
+        if self.seeds is not None:
+            out["seeds"] = (
+                self.seeds if isinstance(self.seeds, int) else list(self.seeds)
+            )
+        if self.analyses:
+            out["analyses"] = list(self.analyses)
+        if self.params:
+            out["params"] = dict(self.params)
+        if self.vary:
+            out["vary"] = {key: list(values) for key, values in self.vary}
+        run: dict[str, object] = {}
+        if self.workers is not None:
+            run["workers"] = self.workers
+        if self.chunk_frames is not None:
+            run["chunk_frames"] = self.chunk_frames
+        if self.store is not None:
+            run["store"] = self.store
+        if self.resume is not True:
+            run["resume"] = self.resume
+        if self.retry_failed:
+            run["retry_failed"] = self.retry_failed
+        if self.keep_reports:
+            run["keep_reports"] = self.keep_reports
+        if run:
+            out["run"] = run
+        return out
+
+    def to_toml(self) -> str:
+        """TOML text that parses back to an equal spec."""
+        return _toml.dumps(self.to_mapping())
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON text that parses back to an equal spec."""
+        return json.dumps(self.to_mapping(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec next to its results (``.toml`` or ``.json``)."""
+        path = Path(path)
+        if path.suffix.lower() == ".json":
+            path.write_text(self.to_json() + "\n")
+        else:
+            path.write_text(self.to_toml())
+        return path
+
+    @property
+    def hash(self) -> str:
+        """Stable content hash of the spec (provenance key)."""
+        text = json.dumps(self.to_mapping(), sort_keys=True, default=repr)
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+    # -- semantics ---------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``'analysis'`` (pcaps), ``'campaign'`` (vary/seeds) or ``'single'``."""
+        if self.pcaps:
+            return "analysis"
+        if self.vary or self.seeds is not None:
+            return "campaign"
+        return "single"
+
+    def validate(self) -> "ExperimentSpec":
+        """Full semantic check; raises :class:`SpecError`.  Returns self.
+
+        Covers source arity, scenario existence and parameter names
+        (with "did you mean ...?" suggestions), axis/params overlap,
+        seed and worker sanity, analysis names, and store/mode fit.
+        """
+        from ..pipeline import resolve_consumer_names
+        from ..sim import UnknownParameterError, validate_scenario_params
+
+        if self.scenario is not None and self.pcaps:
+            raise SpecError("give either 'scenario' or 'pcaps', not both")
+        if self.scenario is None and not self.pcaps:
+            raise SpecError("spec needs a source: a 'scenario' name or 'pcaps'")
+        if self.pcaps and (self.vary or self.params or self.seeds is not None):
+            raise SpecError(
+                "'params'/'vary'/'seeds' apply to scenario experiments, "
+                "not pcap analysis"
+            )
+        for pcap in self.pcaps:
+            if not Path(pcap).is_file():
+                raise SpecError(f"pcap not found: {pcap}")
+        if self.scenario is not None:
+            overlap = {k for k, _ in self.params} & {k for k, _ in self.vary}
+            if overlap:
+                raise SpecError(
+                    f"{sorted(overlap)} appear in both [params] and [vary]"
+                )
+            for key, values in self.vary:
+                if len(values) == 0:
+                    raise SpecError(f"vary axis {key!r} has no values")
+            try:
+                validate_scenario_params(
+                    self.scenario,
+                    [k for k, _ in self.params] + [k for k, _ in self.vary],
+                )
+            except (KeyError, UnknownParameterError) as error:
+                message = error.args[0] if error.args else str(error)
+                raise SpecError(str(message)) from None
+        if isinstance(self.seeds, int) and self.seeds < 1:
+            raise SpecError("'seeds' must be >= 1")
+        if isinstance(self.seeds, tuple) and not self.seeds:
+            raise SpecError("'seeds' list must not be empty")
+        if self.workers is not None and self.workers < 1:
+            raise SpecError("run option 'workers' must be >= 1")
+        if self.chunk_frames is not None and self.chunk_frames < 1:
+            raise SpecError("run option 'chunk_frames' must be >= 1")
+        if self.store is not None and self.mode != "campaign":
+            raise SpecError(
+                "run option 'store' needs a campaign — add 'seeds' or a "
+                "[vary] axis (a stored cell is keyed by its grid point)"
+            )
+        try:
+            resolve_consumer_names(self.analyses, roster=True)
+        except KeyError as error:
+            raise SpecError(str(error.args[0])) from None
+        return self
+
+    def with_options(self, **changes) -> "ExperimentSpec":
+        """``dataclasses.replace`` with ``None`` meaning "keep current"."""
+        effective = {k: v for k, v in changes.items() if v is not None}
+        return replace(self, **effective) if effective else self
+
+
+def load_spec(path: str | Path) -> ExperimentSpec:
+    """Module-level alias of :meth:`ExperimentSpec.from_file`."""
+    return ExperimentSpec.from_file(path)
+
+
+# Sanity: the dataclass and the file format stay in sync.
+assert {f.name for f in fields(ExperimentSpec)} == (
+    set(_TOP_KEYS) - {"params", "vary", "run"}
+) | {"params", "vary"} | set(_RUN_KEYS)

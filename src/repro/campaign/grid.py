@@ -84,6 +84,21 @@ class ParameterGrid:
             n *= len(values)
         return n
 
+    def validate(self) -> "ParameterGrid":
+        """Check the scenario name and every axis/fixed key, eagerly.
+
+        Raises ``KeyError`` (unknown scenario) or
+        :class:`~repro.sim.library.UnknownParameterError` (unknown
+        parameter, with a "did you mean ...?" suggestion) *before* any
+        cell is dispatched — a typo'd ``--vary n_statoins=...`` fails
+        here in milliseconds instead of as one ``FailedCell`` per grid
+        point after the pool spins up.  Returns ``self`` for chaining.
+        """
+        from ..sim import validate_scenario_params
+
+        validate_scenario_params(self.scenario, list(self.fixed) + list(self.axes))
+        return self
+
     def cells(self) -> list[CampaignCell]:
         """Expand the grid, axes varying slowest-first, seeds innermost."""
         keys = list(self.axes)

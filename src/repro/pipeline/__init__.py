@@ -48,6 +48,7 @@ from .registry import (
     consumer_factory,
     create_consumers,
     register_consumer,
+    resolve_consumer_names,
 )
 from .stream import (
     DEFAULT_CHUNK_FRAMES,
@@ -91,6 +92,7 @@ __all__ = [
     "create_consumers",
     "pcap_chunks",
     "register_consumer",
+    "resolve_consumer_names",
     "run_all",
     "run_batch",
     "run_consumers",

@@ -19,13 +19,16 @@ them in.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
+
+from .._suggest import unknown_name_message
 
 __all__ = [
     "register_consumer",
     "consumer_factory",
     "create_consumers",
     "available_consumers",
+    "resolve_consumer_names",
     "DEFAULT_CONSUMERS",
     "ROSTER_CONSUMERS",
 ]
@@ -93,3 +96,27 @@ def create_consumers(names: Iterable[str]) -> list:
 def available_consumers() -> tuple[str, ...]:
     """All registered consumer names, sorted."""
     return tuple(sorted(_FACTORIES))
+
+
+def resolve_consumer_names(
+    names: Sequence[str] | None, *, roster: bool = False
+) -> tuple[str, ...]:
+    """Expand an analysis selection into registered consumer names.
+
+    ``None``, ``()`` and ``("all",)`` mean the full default set —
+    :data:`DEFAULT_CONSUMERS` plus :data:`ROSTER_CONSUMERS` when a
+    roster is available.  Anything else is validated against the
+    registry; unknown names raise ``KeyError`` with a
+    "did you mean ...?" suggestion.
+    """
+    if not names or tuple(names) == ("all",):
+        return DEFAULT_CONSUMERS + (ROSTER_CONSUMERS if roster else ())
+    resolved: list[str] = []
+    for name in names:
+        if name not in _FACTORIES:
+            raise KeyError(
+                unknown_name_message("analysis", name, sorted(_FACTORIES))
+            )
+        if name not in resolved:
+            resolved.append(name)
+    return tuple(resolved)

@@ -25,11 +25,12 @@ rtscts_fraction=1.0)``.
 from __future__ import annotations
 
 import inspect
-from dataclasses import replace
-from typing import Callable
+from dataclasses import fields as dataclass_fields, replace
+from typing import Callable, Iterable
 
 import numpy as np
 
+from .._suggest import unknown_name_message
 from .builder import (
     BuiltScenario,
     ExplicitPlacement,
@@ -49,16 +50,30 @@ from .traffic import CONFERENCE_MIX, ConstantRate, ModulatedRate
 
 __all__ = [
     "SCENARIO_LIBRARY",
+    "UnknownParameterError",
     "register_scenario",
     "available_scenarios",
     "scenario_builder",
     "scenario_config",
+    "scenario_parameters",
+    "validate_scenario_params",
     "build_scenario",
     "hidden_terminal_config",
     "hotspot_plenary_config",
     "co_channel_config",
     "roaming_storm_config",
+    "uniform_config",
 ]
+
+
+class UnknownParameterError(TypeError):
+    """A scenario was given a parameter name it does not understand.
+
+    Subclasses :class:`TypeError` because that is what an unknown
+    keyword has always raised (from ``dataclasses.replace`` deep in the
+    builder) — but carries a "did you mean ...?" message listing the
+    scenario's valid parameter names instead of a bare traceback.
+    """
 
 
 #: name -> factory returning a configured ScenarioBuilder.
@@ -82,18 +97,58 @@ def available_scenarios() -> list[str]:
     return sorted(SCENARIO_LIBRARY)
 
 
+def scenario_parameters(name: str) -> tuple[str, ...]:
+    """Every parameter name the named scenario accepts, sorted.
+
+    The union of the factory's declared keyword arguments and the
+    :class:`ScenarioConfig` fields (factories forward unknown keywords
+    as config overrides).
+    """
+    factory = _lookup(name)
+    declared = {
+        pname
+        for pname, param in inspect.signature(factory).parameters.items()
+        if param.kind
+        not in (inspect.Parameter.VAR_KEYWORD, inspect.Parameter.VAR_POSITIONAL)
+    }
+    declared.update(f.name for f in dataclass_fields(ScenarioConfig))
+    return tuple(sorted(declared))
+
+
+def validate_scenario_params(name: str, params: Iterable[str]) -> None:
+    """Raise :class:`UnknownParameterError` for any unknown parameter.
+
+    The silent-typo guard: ``n_statoins=40`` fails here with a
+    "did you mean 'n_stations'?" message naming every valid parameter,
+    instead of a ``TypeError`` deep inside ``dataclasses.replace``.
+    """
+    valid = scenario_parameters(name)
+    for key in params:
+        if key not in valid:
+            raise UnknownParameterError(
+                unknown_name_message(f"scenario {name!r} parameter", key, valid)
+            )
+
+
+def _lookup(name: str) -> Callable[..., ScenarioBuilder]:
+    factory = SCENARIO_LIBRARY.get(name)
+    if factory is None:
+        raise KeyError(
+            unknown_name_message("scenario", name, available_scenarios())
+        )
+    return factory
+
+
 def scenario_builder(name: str, **params) -> ScenarioBuilder:
     """Instantiate the named library scenario with ``params``.
 
     Parameters the factory's signature declares go to the factory;
     anything else must be a :class:`ScenarioConfig` field and is applied
-    as an override.
+    as an override.  Unknown names raise :class:`UnknownParameterError`
+    with a "did you mean ...?" suggestion.
     """
-    factory = SCENARIO_LIBRARY.get(name)
-    if factory is None:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {available_scenarios()}"
-        )
+    factory = _lookup(name)
+    validate_scenario_params(name, params)
     return factory(**params)
 
 
@@ -125,12 +180,51 @@ def _classic(config_factory: Callable[..., ScenarioConfig]):
             **overrides
         )
 
+    # Let inspect.signature (scenario_parameters) see the config
+    # factory's declared keywords through the **params wrapper.
+    make.__wrapped__ = config_factory
     return make
 
 
 SCENARIO_LIBRARY["ramp"] = _classic(load_ramp_config)
 SCENARIO_LIBRARY["day"] = _classic(ietf_day_config)
 SCENARIO_LIBRARY["plenary"] = _classic(ietf_plenary_config)
+
+
+def uniform_config(
+    n_stations: int = 10,
+    n_aps: int = 1,
+    duration_s: float = 20.0,
+    seed: int = 7,
+    uplink_pps: float = 8.0,
+    downlink_pps: float = 18.0,
+    rate_algorithm: str = "arf",
+    rtscts_fraction: float = 0.0,
+    obstructed_fraction: float = 0.25,
+) -> ScenarioConfig:
+    """A plain one-room cell with constant Poisson rates.
+
+    The declarative face of a bare :class:`ScenarioConfig`: every
+    argument is a scalar, so spec files (and the ``simulate`` CLI,
+    whose defaults these mirror) can describe the run without
+    constructing schedule objects — ``uplink_pps``/``downlink_pps``
+    become :class:`~repro.sim.traffic.ConstantRate` schedules.  Any
+    other :class:`ScenarioConfig` field is accepted as an override.
+    """
+    return ScenarioConfig(
+        n_stations=n_stations,
+        n_aps=n_aps,
+        duration_s=duration_s,
+        seed=seed,
+        uplink=ConstantRate(uplink_pps),
+        downlink=ConstantRate(downlink_pps),
+        rate_algorithm=rate_algorithm,
+        rtscts_fraction=rtscts_fraction,
+        obstructed_fraction=obstructed_fraction,
+    )
+
+
+SCENARIO_LIBRARY["uniform"] = _classic(uniform_config)
 
 
 def hidden_terminal_config(

@@ -1,27 +1,32 @@
-"""Command-line interface: simulate, analyze, sweep and inspect.
+"""Command-line interface: run specs, simulate, analyze, sweep, inspect.
 
-Usage::
+Usage (``repro`` and ``python -m repro`` are the same program)::
 
-    python -m repro.tools simulate out.pcap --stations 10 --duration 20
-    python -m repro.tools analyze capture.pcap
-    python -m repro.tools analyze day.pcap plenary.pcap --workers 2
-    python -m repro.tools campaign --scenario ramp \\
+    repro run study.toml --workers 4
+    repro run study.toml --validate-only
+    repro simulate out.pcap --stations 10 --duration 20
+    repro analyze capture.pcap
+    repro analyze day.pcap plenary.pcap --workers 2
+    repro campaign --scenario ramp \\
         --vary n_stations=10,20,40 --seeds 2 --workers 4 \\
         --store campaign-store --resume
-    python -m repro.tools campaign-status --store campaign-store \\
+    repro campaign-status --store campaign-store \\
         --scenario ramp --vary n_stations=10,20,40 --seeds 2
-    python -m repro.tools info capture.pcap
+    repro info capture.pcap
 
-``simulate`` runs a scenario and writes the sniffer capture as a real
-radiotap pcap; ``analyze`` streams one or more pcaps through the
-single-pass :mod:`repro.pipeline` and prints the rendered congestion
-report(s) — multiple captures are analyzed in parallel; ``campaign``
-sweeps a parameter grid over a library scenario across a process pool
-(each cell streamed live through the pipeline, bounded memory) and
-prints/saves the campaign summary — with ``--store`` every finished
-cell persists immediately (crash-safe) and ``--resume`` re-runs only
-missing cells; ``campaign-status`` lists done/pending/failed cells of
-a stored grid; ``info`` prints the Table-1 style summary only.
+``run`` executes a declarative experiment spec (TOML/JSON — see
+:mod:`repro.api.spec`); the other subcommands are thin adapters over
+the same :mod:`repro.api` layer.  ``simulate`` runs a scenario and
+writes the sniffer capture as a real radiotap pcap; ``analyze`` streams
+one or more pcaps through the single-pass :mod:`repro.pipeline` and
+prints the rendered congestion report(s) — multiple captures are
+analyzed in parallel; ``campaign`` sweeps a parameter grid over a
+library scenario across a process pool (each cell streamed live
+through the pipeline, bounded memory) and prints/saves the campaign
+summary — with ``--store`` every finished cell persists immediately
+(crash-safe) and ``--resume`` re-runs only missing cells;
+``campaign-status`` lists done/pending/failed cells of a stored grid;
+``info`` prints the Table-1 style summary only.
 """
 
 from __future__ import annotations
@@ -31,12 +36,13 @@ import cProfile
 import pstats
 import sys
 
-from .campaign import CampaignStore, ParameterGrid, render_campaign, run_campaign
+from .api import Experiment, SpecError
+from .campaign import CampaignStore, ParameterGrid
 from .core import dataset_summary
 from .core.render import render_report
 from .pcap import read_trace, write_trace
-from .pipeline import DEFAULT_CHUNK_FRAMES, run_batch
-from .sim import ConstantRate, ScenarioConfig, available_scenarios, run_scenario
+from .pipeline import DEFAULT_CHUNK_FRAMES
+from .sim import available_scenarios
 from .viz import table
 
 __all__ = ["main", "build_parser"]
@@ -48,6 +54,50 @@ def build_parser() -> argparse.ArgumentParser:
         description="802.11b congestion-analysis toolkit (IMC 2005 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative experiment spec file (.toml/.json)",
+    )
+    run.add_argument("spec", help="spec file path (see repro.api.spec)")
+    run.add_argument(
+        "--workers", type=int, default=None, help="override [run] workers"
+    )
+    run.add_argument(
+        "--store", default=None, metavar="DIR", help="override [run] store"
+    )
+    run.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="override [run] resume",
+    )
+    run.add_argument(
+        "--retry-failed",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="override [run] retry_failed",
+    )
+    run.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override/add a [params] entry (repeatable)",
+    )
+    run.add_argument(
+        "--out", default=None, help="also write the rendered result here"
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable result summary instead of text",
+    )
+    run.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="parse + validate the spec (and count its cells), run nothing",
+    )
 
     simulate = sub.add_parser(
         "simulate", help="run a scenario and write the capture as pcap"
@@ -246,20 +296,77 @@ def _profiled(enabled: bool):
     return _Profiler()
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = Experiment.from_spec(args.spec)
+        overrides = _parse_assignments(args.set, multi=False)
+        if overrides:
+            experiment = experiment.fix(**overrides)
+        experiment = experiment.validate()
+    except (SpecError, ValueError, TypeError, KeyError) as error:
+        print(f"spec error: {_error_text(error)}", file=sys.stderr)
+        return 2
+    spec = experiment.spec()
+    if args.validate_only:
+        if spec.mode == "campaign":
+            detail = f"{len(experiment.cells())} cells"
+        elif spec.mode == "analysis":
+            detail = f"{len(spec.pcaps)} capture(s)"
+        else:
+            detail = "1 run"
+        print(f"{args.spec}: OK ({spec.mode}, {detail})")
+        return 0
+    try:
+        result = experiment.run(
+            workers=args.workers,
+            store_dir=args.store,
+            resume=args.resume,
+            retry_failed=args.retry_failed,
+        )
+    except (SpecError, ValueError, TypeError, OSError) as error:
+        print(f"spec error: {_error_text(error)}", file=sys.stderr)
+        return 2
+    text = result.to_json() + "\n" if args.json else result.render()
+    print(text, end="" if text.endswith("\n") else "\n")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"result written to {args.out}", file=sys.stderr)
+    rc = 0
+    if result.campaign is not None and result.campaign.failed:
+        print(
+            f"{len(result.campaign.failed)} cell(s) failed", file=sys.stderr
+        )
+        rc = 1
+    for name, report in result.reports.items():
+        if report.summary.n_frames == 0:
+            print(f"{name}: empty capture", file=sys.stderr)
+            rc = 1
+    return rc
+
+
+def _error_text(error: BaseException) -> str:
+    """KeyError reprs its arg (quotes the whole message); unwrap it."""
+    if isinstance(error, KeyError) and error.args:
+        return str(error.args[0])
+    return str(error)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = ScenarioConfig(
+    experiment = Experiment.scenario(
+        "uniform",
         n_stations=args.stations,
         n_aps=args.aps,
         duration_s=args.duration,
         seed=args.seed,
-        uplink=ConstantRate(args.uplink_pps),
-        downlink=ConstantRate(args.downlink_pps),
+        uplink_pps=args.uplink_pps,
+        downlink_pps=args.downlink_pps,
         rate_algorithm=args.rate_algorithm,
         rtscts_fraction=args.rtscts_fraction,
         obstructed_fraction=args.obstructed_fraction,
-    )
+    ).analyses("summary")  # buffered run; only the cheap summary consumer
     with _profiled(args.profile):
-        result = run_scenario(config)
+        result = experiment.run(keep_trace=True).scenario_result
     n = write_trace(result.trace, args.output)
     print(
         f"wrote {n} frames to {args.output} "
@@ -276,27 +383,19 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.chunk_frames < 1:
         print("--chunk-frames must be >= 1", file=sys.stderr)
         return 2
-    # Hand paths (not traces) to the batch: each worker streams its pcap
-    # from disk in bounded chunks, so decode parallelises with --workers
-    # and memory stays flat however many captures are named.
-    sources: list[tuple[str, str]] = []
-    used: set[str] = set()
-    for path in args.captures:
-        base = args.name or path if len(args.captures) == 1 else path
-        # run_batch keys results by name, so repeated paths need
-        # distinct titles; probe until the suffixed name is free too.
-        name, suffix = base, 2
-        while name in used:
-            name = f"{base}#{suffix}"
-            suffix += 1
-        used.add(name)
-        sources.append((name, path))
-    reports = run_batch(
-        sources, max_workers=args.workers, chunk_frames=args.chunk_frames
+    # Hand paths (not traces) to the api layer: each worker streams its
+    # pcap from disk in bounded chunks, so decode parallelises with
+    # --workers and memory stays flat however many captures are named.
+    experiment = Experiment.pcaps(*args.captures)
+    if args.name and len(args.captures) == 1:
+        experiment = experiment.named(args.name)
+    result = experiment.run(
+        workers=args.workers, chunk_frames=args.chunk_frames
     )
     printed = 0
     empty: list[str] = []
-    for (_, path), report in zip(sources, reports.values()):
+    for name, path in result.sources:
+        report = result.reports[name]
         if report.summary.n_frames == 0:
             empty.append(path)
             continue
@@ -313,13 +412,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.list:
         print("\n".join(available_scenarios()))
         return 0
-    if args.scenario not in available_scenarios():
-        print(
-            f"unknown scenario {args.scenario!r}; "
-            f"available: {', '.join(available_scenarios())}",
-            file=sys.stderr,
-        )
-        return 2
     if args.seeds < 1:
         print("--seeds must be >= 1", file=sys.stderr)
         return 2
@@ -343,12 +435,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     try:
         axes = _parse_assignments(args.vary, multi=True)
         fixed = _parse_assignments(args.fix, multi=False)
-        grid = ParameterGrid(
-            args.scenario, axes=axes, seeds=args.seeds, fixed=fixed
+        experiment = (
+            Experiment.scenario(args.scenario)
+            .fix(**fixed)
+            .vary(**axes)
+            .seeds(args.seeds)
         )
         with _profiled(args.profile):
-            result = run_campaign(
-                grid,
+            result = experiment.run(
                 workers=workers,
                 chunk_frames=args.chunk_frames,
                 store_dir=args.store,
@@ -356,17 +450,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 retry_failed=args.retry_failed,
             )
     except (ValueError, TypeError) as error:
-        print(f"campaign error: {error}", file=sys.stderr)
+        print(f"campaign error: {_error_text(error)}", file=sys.stderr)
         return 2
-    text = render_campaign(result, title=f"Campaign [{args.scenario}]")
+    text = result.render(title=f"Campaign [{args.scenario}]")
     print(text, end="")
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
         print(f"summary written to {args.out}", file=sys.stderr)
-    if result.failed:
+    if result.campaign.failed:
         print(
-            f"{len(result.failed)} cell(s) failed"
+            f"{len(result.campaign.failed)} cell(s) failed"
             + (
                 f"; retry with --store {args.store} --resume --retry-failed"
                 if args.store
@@ -433,6 +527,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "campaign": _cmd_campaign,

@@ -1,0 +1,161 @@
+"""The public surface contract (ISSUE 5 acceptance criteria).
+
+* every name in the curated ``__all__``s imports;
+* ``Experiment.from_spec(result.spec())`` round-trips bit-exactly —
+  the rebuilt experiment produces the *same content-addressed store
+  keys*, so a stored campaign answers it without simulating;
+* spec-driven runs equal the equivalent hand-built
+  ``campaign.run_campaign`` / ``pipeline.run_all`` calls.
+"""
+
+import pytest
+
+from repro.api import Experiment, ExperimentSpec
+from tests.pipeline.test_equivalence import assert_reports_equal
+
+CAMPAIGN_TOML = """\
+scenario = "ramp"
+seeds = 2
+
+[params]
+duration_s = 1.5
+
+[vary]
+n_stations = [3, 4]
+"""
+
+
+class TestCuratedAll:
+    @pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+    def test_every_exported_name_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__all__ == sorted(module.__all__)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, name
+
+    def test_front_door_names_present(self):
+        import repro
+
+        for name in ("Experiment", "ExperimentResult", "ExperimentSpec",
+                     "run_spec", "load_spec"):
+            assert name in repro.__all__ or hasattr(repro, name)
+
+    def test_old_entry_points_still_work(self):
+        """No breakage: the pre-api imports every script/test uses."""
+        from repro.campaign import ParameterGrid, run_campaign  # noqa: F401
+        from repro.pipeline import run_all, run_batch  # noqa: F401
+        from repro.sim import ScenarioConfig, run_scenario  # noqa: F401
+        from repro.core import analyze_trace  # noqa: F401
+        from repro.tools import build_parser, main  # noqa: F401
+
+
+class TestSpecRoundTrip:
+    def test_round_trip_store_keys_bit_exact(self):
+        """from_spec(result.spec()) describes the *same* cells: every
+        content-addressed store key matches the original's."""
+        from repro.campaign import CampaignStore, cell_key
+
+        exp = Experiment.from_spec(ExperimentSpec.from_toml(CAMPAIGN_TOML))
+        result = exp.run(workers=1)
+
+        rebuilt = Experiment.from_spec(result.spec())
+        original_cells = exp.cells()
+        rebuilt_cells = rebuilt.cells()
+        assert rebuilt_cells == original_cells
+        keys_a = [cell_key(c, "salt") for c in original_cells]
+        keys_b = [cell_key(c, "salt") for c in rebuilt_cells]
+        assert keys_a == keys_b
+
+    def test_round_trip_through_toml_text(self, tmp_path):
+        """spec → run → .spec() → TOML file → from_spec: still equal."""
+        exp = Experiment.from_spec(ExperimentSpec.from_toml(CAMPAIGN_TOML))
+        result = exp.run(workers=1)
+        path = result.spec().save(tmp_path / "rerun.toml")
+        assert Experiment.from_spec(path).cells() == exp.cells()
+
+    def test_resolved_run_options_survive(self, tmp_path):
+        """.run(**overrides) folds into the result's spec, so the
+        re-run repeats what actually executed (store and all)."""
+        store = tmp_path / "store"
+        exp = Experiment.from_spec(ExperimentSpec.from_toml(CAMPAIGN_TOML))
+        result = exp.run(workers=1, store_dir=store)
+        spec = result.spec()
+        assert spec.store == str(store)
+        # The re-run is answered entirely from the store: zero dispatch.
+        again = Experiment.from_spec(spec).run(workers=1)
+        assert again.campaign.dispatched == 0
+        assert again.campaign.store_hits == 4
+        rows_a = [c.as_row() for c in result.campaign.cells]
+        rows_b = [c.as_row() for c in again.campaign.cells]
+        assert rows_a == rows_b  # resume is bit-exact incl. elapsed
+
+
+def _strip_wall(row):
+    return {k: v for k, v in row.items() if k != "wall_s"}
+
+
+class TestEquivalence:
+    def test_spec_campaign_equals_hand_built_run_campaign(self):
+        from repro.campaign import ParameterGrid, run_campaign
+
+        spec_result = Experiment.from_spec(
+            ExperimentSpec.from_toml(CAMPAIGN_TOML)
+        ).run(workers=1)
+
+        grid = ParameterGrid(
+            "ramp",
+            axes={"n_stations": [3, 4]},
+            seeds=2,
+            fixed={"duration_s": 1.5},
+        )
+        direct = run_campaign(grid, workers=1)
+
+        assert [c.name for c in spec_result.campaign.cells] == [
+            c.name for c in direct.cells
+        ]
+        for ours, theirs in zip(spec_result.campaign.cells, direct.cells):
+            assert _strip_wall(ours.as_row()) == _strip_wall(theirs.as_row())
+
+    def test_fluent_campaign_equals_spec_campaign(self):
+        fluent = (
+            Experiment.scenario("ramp")
+            .fix(duration_s=1.5)
+            .vary(n_stations=[3, 4])
+            .seeds(2)
+        )
+        from_file = Experiment.from_spec(ExperimentSpec.from_toml(CAMPAIGN_TOML))
+        assert fluent.cells() == from_file.cells()
+        a = fluent.run(workers=1)
+        b = from_file.run(workers=1)
+        assert [_strip_wall(r) for r in a.table()] == [
+            _strip_wall(r) for r in b.table()
+        ]
+
+    def test_spec_single_equals_hand_built_run_all(self):
+        """A single-scenario spec produces the identical report to
+        building the scenario and calling pipeline.run_all by hand."""
+        from repro.pipeline import run_all
+        from repro.sim import build_scenario
+
+        result = Experiment.scenario("uniform", n_stations=3, duration_s=1.5).run()
+
+        built = build_scenario("uniform", n_stations=3, duration_s=1.5)
+        direct = run_all(built.stream(), roster=built.roster, name="uniform")
+
+        assert_reports_equal(result.report, direct)
+
+    def test_spec_analysis_equals_hand_built_run_all(self, tmp_path):
+        from repro.pcap import write_trace
+        from repro.pipeline import run_all
+        from repro.sim import build_scenario
+
+        path = tmp_path / "t.pcap"
+        write_trace(
+            build_scenario("uniform", n_stations=3, duration_s=1.5).run().trace,
+            path,
+        )
+        api_report = Experiment.pcaps(path).named("t").run().report
+        direct = run_all(str(path), name="t")
+        assert_reports_equal(api_report, direct)

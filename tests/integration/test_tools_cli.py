@@ -177,3 +177,118 @@ class TestProfileFlag:
         captured = capsys.readouterr()
         assert "cProfile: top 20 by cumulative time" in captured.out
         assert "forces --workers 1" in captured.err
+
+
+SPEC_TOML = """\
+name = "cli-spec"
+scenario = "ramp"
+
+[params]
+duration_s = 1.5
+
+[vary]
+n_stations = [3, 4]
+"""
+
+
+class TestRunCli:
+    """The `run <spec>` subcommand (the repro.api front door on the CLI)."""
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "study.toml"
+        spec.write_text(SPEC_TOML)
+        rc = main(["run", str(spec), "--workers", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-spec" in out
+        assert "n_stations=3" in out and "n_stations=4" in out
+
+    def test_validate_only(self, tmp_path, capsys):
+        spec = tmp_path / "study.toml"
+        spec.write_text(SPEC_TOML)
+        rc = main(["run", str(spec), "--validate-only"])
+        assert rc == 0
+        assert "OK (campaign, 2 cells)" in capsys.readouterr().out
+
+    def test_set_overrides_params(self, tmp_path, capsys):
+        spec = tmp_path / "study.toml"
+        spec.write_text('scenario = "ramp"\n[params]\nduration_s = 1.5\n')
+        rc = main(
+            ["run", str(spec), "--set", "n_stations=3", "--validate-only"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["run", str(spec), "--set", "n_statoins=3"])
+        assert rc == 2
+        assert "did you mean 'n_stations'" in capsys.readouterr().err
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "study.toml"
+        spec.write_text(SPEC_TOML.replace("[3, 4]", "[3]"))
+        rc = main(["run", str(spec), "--workers", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "campaign"
+        assert payload["spec"]["name"] == "cli-spec"
+
+    def test_store_resume_round_trip(self, tmp_path, capsys):
+        spec = tmp_path / "study.toml"
+        spec.write_text(SPEC_TOML)
+        store = tmp_path / "store"
+        rc = main(["run", str(spec), "--workers", "1", "--store", str(store)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["run", str(spec), "--workers", "1", "--store", str(store)])
+        assert rc == 0
+        assert "2 from store" in capsys.readouterr().out
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        rc = main(["run", str(tmp_path / "nope.toml")])
+        assert rc == 2
+        assert "cannot read spec" in capsys.readouterr().err
+
+    def test_unknown_spec_key_suggests(self, tmp_path, capsys):
+        spec = tmp_path / "bad.toml"
+        spec.write_text('scenario = "ramp"\n[varry]\nn_stations = [3]\n')
+        rc = main(["run", str(spec)])
+        assert rc == 2
+        assert "did you mean 'vary'" in capsys.readouterr().err
+
+    def test_out_writes_rendered_result(self, tmp_path, capsys):
+        spec = tmp_path / "study.toml"
+        spec.write_text(SPEC_TOML.replace("[3, 4]", "[3]"))
+        out_path = tmp_path / "result.txt"
+        rc = main(["run", str(spec), "--workers", "1", "--out", str(out_path)])
+        assert rc == 0
+        assert "n_stations=3" in out_path.read_text()
+
+
+class TestTypoSuggestions:
+    """Silent-typo fix: unknown keys fail fast with suggestions."""
+
+    def test_campaign_vary_typo_suggests(self, capsys):
+        rc = main(
+            ["campaign", "--scenario", "ramp", "--vary", "n_statoins=3,4"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'n_stations'" in err
+
+    def test_campaign_fix_typo_suggests(self, capsys):
+        rc = main(
+            [
+                "campaign",
+                "--scenario", "ramp",
+                "--vary", "n_stations=3",
+                "--fix", "durration_s=1.0",
+            ]
+        )
+        assert rc == 2
+        assert "did you mean 'duration_s'" in capsys.readouterr().err
+
+    def test_campaign_scenario_typo_suggests(self, capsys):
+        rc = main(["campaign", "--scenario", "rampp", "--vary", "n_stations=3"])
+        assert rc == 2
+        assert "did you mean 'ramp'" in capsys.readouterr().err

@@ -1,14 +1,18 @@
-"""Doctest pass over pipeline/builder/campaign docstrings.
+"""Doctest pass over pipeline/builder/campaign/api docstrings.
 
-The examples in ``repro.pipeline``, ``repro.sim.builder`` and
-``repro.campaign`` docstrings are part of the documentation contract
-(README and ARCHITECTURE link to them); this keeps them executable.
+The examples in ``repro.pipeline``, ``repro.sim.builder``,
+``repro.campaign`` and ``repro.api`` docstrings are part of the
+documentation contract (README and ARCHITECTURE link to them); this
+keeps them executable.
 """
 
 import doctest
 
 import pytest
 
+import repro.api._toml
+import repro.api.experiment
+import repro.api.spec
 import repro.campaign.grid
 import repro.pipeline.accumulate
 import repro.pipeline.executor
@@ -20,6 +24,9 @@ import repro.sim.builder
 @pytest.mark.parametrize(
     "module",
     [
+        repro.api._toml,
+        repro.api.experiment,
+        repro.api.spec,
         repro.pipeline.accumulate,
         repro.pipeline.executor,
         repro.pipeline.registry,

@@ -146,3 +146,66 @@ class TestHotspotPlenary:
         # A 4 m Gaussian spread keeps nearly everyone within ~3 sigma of
         # a focus; a uniform scatter over a 40x25 room would not.
         assert np.mean(dist_to_nearest) < 8.0
+
+
+class TestParameterValidation:
+    """scenario_parameters / validate_scenario_params (the typo guard)."""
+
+    def test_parameters_union_factory_and_config(self):
+        from repro.sim import scenario_parameters
+
+        params = scenario_parameters("hidden-terminal")
+        assert "uplink_pps" in params        # factory keyword
+        assert "room_width_m" in params      # factory AND config field
+        assert "shadowing_sigma_db" in params  # config-only override
+
+    def test_classic_wrapper_exposes_factory_params(self):
+        """_classic-wrapped config factories (ramp/day/plenary/uniform)
+        must surface their declared keywords through the **params shim."""
+        from repro.sim import scenario_parameters
+
+        assert "uplink_pps" in scenario_parameters("uniform")
+        assert "downlink_pps" in scenario_parameters("uniform")
+
+    def test_typo_raises_with_suggestion(self):
+        from repro.sim import UnknownParameterError, validate_scenario_params
+
+        with pytest.raises(UnknownParameterError, match="did you mean 'n_stations'"):
+            validate_scenario_params("ramp", ["n_statoins"])
+
+    def test_unknown_parameter_is_a_type_error(self):
+        """Back-compat: unknown kwargs raised TypeError before; the new
+        did-you-mean error must still be caught by `except TypeError`."""
+        from repro.sim import UnknownParameterError
+
+        assert issubclass(UnknownParameterError, TypeError)
+        with pytest.raises(TypeError, match="did you mean"):
+            scenario_builder("ramp", n_statoins=4)
+
+    def test_unknown_scenario_suggests(self):
+        with pytest.raises(KeyError, match="did you mean 'ramp'"):
+            scenario_builder("rampp")
+
+    def test_valid_params_pass(self):
+        from repro.sim import validate_scenario_params
+
+        validate_scenario_params(
+            "uniform", ["n_stations", "uplink_pps", "room_width_m", "seed"]
+        )
+
+
+class TestUniformScenario:
+    def test_registered(self):
+        assert "uniform" in available_scenarios()
+
+    def test_scalar_rates_become_schedules(self):
+        from repro.sim import ConstantRate
+
+        config = scenario_config("uniform", uplink_pps=5.0, downlink_pps=9.0)
+        assert config.uplink == ConstantRate(5.0)
+        assert config.downlink == ConstantRate(9.0)
+
+    def test_builds_and_runs(self):
+        built = build_scenario("uniform", n_stations=2, duration_s=1.0)
+        result = built.run()
+        assert len(result.trace) > 0
