@@ -1,0 +1,174 @@
+"""End-to-end serve smoke: boot the daemon, feed it, diff against batch.
+
+Drives the real CLI (``python -m repro serve``) the way CI's
+``serve-smoke`` job does, with nothing but stdlib ``urllib``:
+
+1. boot the daemon on ephemeral ports (``--port-file`` handshake);
+2. create a push feed, upload a real radiotap pcap over HTTP, close it,
+   and assert the served report is **byte-identical JSON** to a local
+   batch ``run_all`` over the same file;
+3. attach a simulated scenario feed and poll until it closes itself;
+4. inject two faults — a corrupt frame batch (rejected, feed survives)
+   and a truncated pcap (feed fails, typed error in ``/metrics``) —
+   and assert the daemon keeps answering ``/health`` throughout;
+5. ``POST /shutdown`` and assert the process drains and exits 0.
+
+Exits non-zero on any violation.
+
+Usage::
+
+    python benchmarks/smoke_serve.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.pcap import write_trace                       # noqa: E402
+from repro.pipeline import run_all                       # noqa: E402
+from repro.serve import report_to_jsonable               # noqa: E402
+from repro.sim import build_scenario                     # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def request(base: str, method: str, path: str, body: bytes | None = None):
+    req = urllib.request.Request(base + path, data=body, method=method)
+    with urllib.request.urlopen(req, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def poll_until(base: str, path: str, predicate, what: str, timeout_s: float = 120):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, payload = request(base, "GET", path)
+        if predicate(payload):
+            return payload
+        time.sleep(0.1)
+    fail(f"timed out waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default=None)
+    args = parser.parse_args()
+    workdir = Path(args.workdir or tempfile.mkdtemp(prefix="serve-smoke-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    print("== building capture")
+    built = build_scenario("uniform", n_stations=4, duration_s=4)
+    pcap = workdir / "capture.pcap"
+    n_frames = write_trace(built.run().trace, pcap)
+    print(f"   {n_frames} frames -> {pcap}")
+
+    port_file = workdir / "ports.json"
+    if port_file.exists():
+        port_file.unlink()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    print("== booting daemon")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", "0", "--port-file", str(port_file)],
+        env=env, cwd=REPO,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while not port_file.exists():
+            if proc.poll() is not None:
+                fail(f"daemon died at boot:\n{proc.stdout.read()}")
+            if time.monotonic() > deadline:
+                fail("daemon never wrote its port file")
+            time.sleep(0.05)
+        base = f"http://127.0.0.1:{json.loads(port_file.read_text())['http_port']}"
+        print(f"   up at {base}")
+
+        print("== pcap upload feed: served report must equal batch run_all")
+        request(base, "POST", "/feeds", json.dumps({"name": "upload"}).encode())
+        _, reply = request(base, "POST", "/feeds/upload/pcap", pcap.read_bytes())
+        if reply["queued_frames"] != n_frames:
+            fail(f"queued {reply['queued_frames']} of {n_frames} frames")
+        _, info = request(base, "POST", "/feeds/upload/eof")
+        if info["state"] != "closed":
+            fail(f"upload feed state {info['state']}, wanted closed")
+        _, served = request(base, "GET", "/feeds/upload/report")
+        local = report_to_jsonable(run_all(str(pcap), name="upload"))
+        if served != local:
+            diff = [k for k in local if served.get(k) != local[k]]
+            fail(f"served report differs from batch run_all in {diff}")
+        print(f"   report identical over {n_frames} frames")
+
+        print("== attached scenario feed")
+        request(base, "POST", "/feeds", json.dumps(
+            {"kind": "scenario", "scenario": "ramp",
+             "params": {"duration_s": 2}, "name": "sim"}).encode())
+        info = poll_until(base, "/feeds/sim",
+                          lambda p: p["state"] != "running", "scenario feed")
+        if info["state"] != "closed" or info["frames_in"] <= 0:
+            fail(f"scenario feed ended {info['state']} ({info['frames_in']} frames)")
+        print(f"   closed after {info['frames_in']} frames")
+
+        print("== fault injection: corrupt batch is rejected, feed survives")
+        request(base, "POST", "/feeds", json.dumps({"name": "victim"}).encode())
+        try:
+            request(base, "POST", "/feeds/victim/frames", b"\x00garbage")
+            fail("corrupt batch was accepted")
+        except urllib.error.HTTPError as error:
+            if error.code != 400:
+                fail(f"corrupt batch gave {error.code}, wanted 400")
+        _, info = request(base, "GET", "/feeds/victim")
+        if info["state"] != "running" or info["ingest_errors"] != 1:
+            fail(f"victim feed {info['state']} ingest_errors={info['ingest_errors']}")
+
+        print("== fault injection: truncated pcap fails its feed, typed")
+        request(base, "POST", "/feeds", json.dumps({"name": "cut"}).encode())
+        request(base, "POST", "/feeds/cut/pcap", pcap.read_bytes()[:-9])
+        info = poll_until(base, "/feeds/cut",
+                          lambda p: p["state"] != "running", "cut feed")
+        if info["state"] != "failed":
+            fail(f"truncated upload left state {info['state']}")
+        if info["error"]["error_type"] != "TruncatedPcapError":
+            fail(f"wrong error type {info['error']['error_type']}")
+        _, metrics = request(base, "GET", "/metrics")
+        if metrics["states"].get("failed") != 1:
+            fail(f"metrics states {metrics['states']} missing the failure")
+        _, health = request(base, "GET", "/health")
+        if health["status"] != "ok":
+            fail(f"daemon unhealthy after faults: {health}")
+        print(f"   metrics: {metrics['states']}, daemon healthy")
+
+        print("== graceful shutdown")
+        status, reply = request(base, "POST", "/shutdown")
+        if status != 202:
+            fail(f"shutdown gave {status}")
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            fail(f"daemon exited {rc}, wanted 0")
+        print("   exit code 0")
+        print("serve smoke OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        print(proc.stdout.read(), end="")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,12 +91,23 @@ def _execute_analysis(spec: ExperimentSpec) -> ExperimentResult:
             sources=tuple(sources),
             elapsed_s=time.perf_counter() - start,
         )
-    reports = run_batch(sources, max_workers=spec.workers, chunk_frames=chunk)
+    from ..pipeline import FailedAnalysis
+
+    results = run_batch(sources, max_workers=spec.workers, chunk_frames=chunk)
+    reports = {
+        name: value
+        for name, value in results.items()
+        if not isinstance(value, FailedAnalysis)
+    }
+    failures = tuple(
+        value for value in results.values() if isinstance(value, FailedAnalysis)
+    )
     return ExperimentResult(
         spec,
         "analysis",
         reports=reports,
         sources=tuple(sources),
+        failures=failures,
         elapsed_s=time.perf_counter() - start,
     )
 

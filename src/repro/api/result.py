@@ -54,6 +54,7 @@ class ExperimentResult:
         campaign: "CampaignResult | None" = None,
         scenario_result: "ScenarioResult | None" = None,
         sources: tuple[tuple[str, str], ...] = (),
+        failures: tuple = (),
         elapsed_s: float = 0.0,
     ) -> None:
         from ..campaign import code_version_salt
@@ -61,6 +62,9 @@ class ExperimentResult:
         self._spec = spec
         self.mode = mode
         self.reports = dict(reports or {})
+        #: per-capture :class:`~repro.pipeline.FailedAnalysis` records
+        #: (analysis mode) — captures that raised instead of reporting.
+        self.failures = tuple(failures)
         self.metrics = {k: dict(v) for k, v in (metrics or {}).items()}
         self.campaign = campaign
         self.scenario_result = scenario_result
@@ -168,6 +172,11 @@ class ExperimentResult:
                 parts.append(render_report(report))
             else:
                 parts.append(f"{name}: empty capture")
+        for failure in self.failures:
+            parts.append(
+                f"{failure.name}: analysis failed "
+                f"[{failure.error_type}: {failure.error}]"
+            )
         return "\n\n".join(parts)
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -184,6 +193,16 @@ class ExperimentResult:
             payload["failed"] = [
                 {"cell": f.name, "error_type": f.error_type, "error": f.error}
                 for f in self.campaign.failed
+            ]
+        if self.failures:
+            payload["failed_captures"] = [
+                {
+                    "name": f.name,
+                    "source": f.source,
+                    "error_type": f.error_type,
+                    "error": f.error,
+                }
+                for f in self.failures
             ]
         return json.dumps(payload, indent=indent, default=str)
 

@@ -9,6 +9,7 @@ from .dot11_codec import DecodedFrame, decode_frame, encode_frame, mac_to_node, 
 from .pcapio import (
     LINKTYPE_RADIOTAP,
     PAPER_SNAPLEN,
+    TruncatedPcapError,
     read_trace,
     read_trace_batches,
     write_trace,
@@ -21,6 +22,7 @@ __all__ = [
     "LINKTYPE_RADIOTAP",
     "PAPER_SNAPLEN",
     "RadiotapHeader",
+    "TruncatedPcapError",
     "channel_from_freq",
     "decode_frame",
     "encode_frame",

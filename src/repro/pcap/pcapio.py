@@ -30,9 +30,30 @@ __all__ = [
     "write_trace",
     "read_trace",
     "read_trace_batches",
+    "TruncatedPcapError",
     "PAPER_SNAPLEN",
     "LINKTYPE_RADIOTAP",
 ]
+
+
+class TruncatedPcapError(ValueError):
+    """A pcap ended mid-record or a record failed to decode.
+
+    Carries where the damage starts (``byte_offset``) and how many
+    frames decoded cleanly before it (``frames_read``) so callers —
+    the streaming pipeline, the serve daemon, batch runs — can report
+    the partial read instead of surfacing a raw ``struct.error``.
+    """
+
+    def __init__(
+        self, message: str, *, byte_offset: int, frames_read: int
+    ) -> None:
+        super().__init__(
+            f"{message} (byte offset {byte_offset}, "
+            f"{frames_read} frames read cleanly)"
+        )
+        self.byte_offset = byte_offset
+        self.frames_read = frames_read
 
 _MAGIC = 0xA1B2C3D4
 LINKTYPE_RADIOTAP = 127
@@ -151,21 +172,45 @@ def read_trace_batches(
 
         rows = _RowBuffer()
         offset = 24
+        frames_read = 0
         while True:
             record = fp.read(16)
             if not record:
                 break
             if len(record) < 16:
-                raise ValueError(f"{path}: truncated record header at {offset}")
+                # Damage found: flush the clean prefix first so
+                # streaming callers keep every frame read so far.
+                if len(rows):
+                    yield rows.flush()
+                raise TruncatedPcapError(
+                    f"{path}: truncated record header",
+                    byte_offset=offset,
+                    frames_read=frames_read,
+                )
             ts_sec, ts_usec, incl_len, orig_len = struct.unpack("<IIII", record)
-            offset += 16
             packet = fp.read(incl_len)
             if len(packet) < incl_len:
-                raise ValueError(f"{path}: truncated record body at {offset}")
-            offset += incl_len
+                if len(rows):
+                    yield rows.flush()
+                raise TruncatedPcapError(
+                    f"{path}: truncated record body",
+                    byte_offset=offset + 16,
+                    frames_read=frames_read,
+                )
 
-            radiotap, rt_len = RadiotapHeader.decode(packet)
-            frame = decode_frame(packet[rt_len:])
+            try:
+                radiotap, rt_len = RadiotapHeader.decode(packet)
+                frame = decode_frame(packet[rt_len:])
+            except (struct.error, ValueError, KeyError, IndexError) as error:
+                if len(rows):
+                    yield rows.flush()
+                raise TruncatedPcapError(
+                    f"{path}: undecodable record "
+                    f"({type(error).__name__}: {error})",
+                    byte_offset=offset,
+                    frames_read=frames_read,
+                ) from error
+            offset += 16 + incl_len
             if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
                 # orig_len preserves the pre-snap size: radiotap + 24 + body.
                 size = max(0, orig_len - rt_len - 24) + 24
@@ -184,6 +229,7 @@ def read_trace_batches(
             rows.cols["channel"].append(radiotap.channel)
             rows.cols["snr_db"].append(radiotap.snr_db)
             rows.cols["seq"].append(frame.seq)
+            frames_read += 1
 
             if len(rows) >= batch_frames:
                 yield rows.flush()

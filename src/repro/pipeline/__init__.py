@@ -40,7 +40,14 @@ from .consumers import (
     UserSeriesConsumer,
     UtilizationConsumer,
 )
-from .executor import PipelineExecutor, run_all, run_batch, run_consumers
+from .executor import (
+    FailedAnalysis,
+    PipelineExecutor,
+    assemble_report,
+    run_all,
+    run_batch,
+    run_consumers,
+)
 from .registry import (
     DEFAULT_CONSUMERS,
     ROSTER_CONSUMERS,
@@ -54,6 +61,7 @@ from .stream import (
     DEFAULT_CHUNK_FRAMES,
     Chunk,
     StreamContext,
+    TruncatedPcapError,
     UnsortedStreamError,
     as_stream,
     pcap_chunks,
@@ -72,6 +80,7 @@ __all__ = [
     "DEFAULT_CHUNK_FRAMES",
     "DEFAULT_CONSUMERS",
     "DelayConsumer",
+    "FailedAnalysis",
     "PipelineExecutor",
     "ROSTER_CONSUMERS",
     "ReceptionConsumer",
@@ -81,12 +90,14 @@ __all__ = [
     "SummaryConsumer",
     "ThroughputConsumer",
     "TransmissionsConsumer",
+    "TruncatedPcapError",
     "UnrecordedByApConsumer",
     "UnrecordedConsumer",
     "UnsortedStreamError",
     "UserSeriesConsumer",
     "UtilizationConsumer",
     "as_stream",
+    "assemble_report",
     "available_consumers",
     "consumer_factory",
     "create_consumers",

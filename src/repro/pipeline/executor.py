@@ -30,9 +30,12 @@ day/plenary splits) run in parallel via :func:`run_batch`.
 
 from __future__ import annotations
 
+import copy
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -54,20 +57,14 @@ from .stream import (
     trace_chunks,
 )
 
-__all__ = ["PipelineExecutor", "run_all", "run_consumers", "run_batch"]
-
-
-def _segments_with_lookahead(segments: Iterable[Trace]):
-    """Yield ``(segment, next_segment_or_None)`` over nonempty segments."""
-    current: Trace | None = None
-    for segment in segments:
-        if len(segment) == 0:
-            continue
-        if current is not None:
-            yield current, segment
-        current = segment
-    if current is not None:
-        yield current, None
+__all__ = [
+    "PipelineExecutor",
+    "FailedAnalysis",
+    "assemble_report",
+    "run_all",
+    "run_consumers",
+    "run_batch",
+]
 
 
 def _match_chunk(trace: Trace, next_segment: Trace | None):
@@ -110,11 +107,27 @@ def _match_chunk(trace: Trace, next_segment: Trace | None):
 
 
 class PipelineExecutor:
-    """Drive a set of consumers over a stream in one pass.
+    """Drive a set of consumers over a stream — one-shot or incremental.
 
     ``consumers`` is an ordered list of :class:`Consumer` instances
     with unique names; any ``requires`` must name another consumer in
     the set (finalization runs in dependency order).
+
+    Two driving styles share the exact same per-chunk machinery:
+
+    * **one-shot** — :meth:`run` walks an entire source and returns the
+      finalized results (the historical batch interface);
+    * **incremental** — :meth:`feed` pushes time-sorted segments one at
+      a time (a live feed), :meth:`snapshot` returns at any moment the
+      results a batch run over everything fed so far would produce, and
+      :meth:`close` ends the stream and finalizes for good.
+
+    The incremental contract is exact, not approximate: after
+    ``feed(c1) ... feed(ck)``, ``snapshot()`` equals
+    ``PipelineExecutor(...).run(iter([c1, ..., ck]))`` field for field
+    (one segment is always held back for DATA-ACK lookahead across the
+    boundary; ``snapshot`` folds it in on a deep-copied state so the
+    live pass is never disturbed).
     """
 
     def __init__(
@@ -142,7 +155,127 @@ class PipelineExecutor:
         self._ctx_args = dict(
             name=name, timing=timing, roster=roster, min_count=min_count
         )
+        self.reset()
+
+    # -- incremental protocol ---------------------------------------------
+
+    def reset(self) -> None:
+        """Start a fresh pass: new context, fresh consumer state."""
         self.ctx = StreamContext(**self._ctx_args)
+        for consumer in self.consumers:
+            consumer.start(self.ctx)
+        self._busy = SecondAccumulator()
+        self._max_second = -1
+        self._start_row = 0
+        self._index = 0
+        self._tail_time: int | None = None
+        self._pending: Trace | None = None
+        self._need_ack = any(c.needs_ack_match for c in self.consumers)
+        self._need_cbt = any(c.needs_cbt for c in self.consumers)
+        self._results: dict[str, object] | None = None
+        self.frames_fed = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has finalized this pass."""
+        return self._results is not None
+
+    def feed(self, segment: Trace) -> int:
+        """Push one time-sorted segment of a live stream; returns its size.
+
+        Segments must be non-overlapping and globally ordered (an
+        out-of-order segment raises :class:`UnsortedStreamError`).
+        The segment is held back until the next ``feed``/``close`` so
+        DATA-ACK pairs straddling the boundary match exactly as in a
+        batch pass.  Empty segments are ignored.
+        """
+        if self.closed:
+            raise RuntimeError(
+                "executor already closed; call reset() for a new stream"
+            )
+        if len(segment) == 0:
+            return 0
+        if not segment.is_time_sorted():
+            raise UnsortedStreamError("stream segments must be time-sorted")
+        first = int(segment.time_us[0])
+        if self._tail_time is not None and first < self._tail_time:
+            raise UnsortedStreamError(
+                "stream segments must be non-overlapping and ordered: "
+                f"segment starts at {first} before previous end "
+                f"{self._tail_time}"
+            )
+        if self._pending is not None:
+            self._consume_segment(self._pending, segment)
+        self._pending = segment
+        self._tail_time = int(segment.time_us[-1])
+        self.frames_fed += len(segment)
+        return len(segment)
+
+    def snapshot(self) -> dict[str, object]:
+        """Results of a batch run over everything fed so far.
+
+        The live pass state (consumers, accumulators, the held-back
+        lookahead segment) is deep-copied and the copy is closed, so
+        feeding may continue afterwards; a snapshot at stream position
+        *k* equals :meth:`run` over the first *k* segments exactly.
+        After :meth:`close` this returns the final results.
+        """
+        if self.closed:
+            return self._results
+        clone = copy.deepcopy(self)
+        return clone.close()
+
+    def close(self) -> dict[str, object]:
+        """End the stream: fold in the held-back segment and finalize."""
+        if self.closed:
+            return self._results
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            self._consume_segment(pending, None)
+        self.ctx.n_seconds = self._max_second + 1
+        if self._need_cbt:
+            self.ctx.utilization = UtilizationSeries(
+                start_us=int(self.ctx.start_us or 0),
+                percent=self._busy.totals(self.ctx.n_seconds)
+                / 1_000_000.0
+                * 100.0,
+            )
+        self._results = self._finalize()
+        return self._results
+
+    def _consume_segment(self, segment: Trace, next_segment: Trace | None):
+        """Fold one segment into every consumer (the shared chunk body)."""
+        ctx = self.ctx
+        if ctx.start_us is None:
+            ctx.start_us = int(segment.time_us[0])
+        second = ((segment.time_us - ctx.start_us) // 1_000_000).astype(
+            np.int64
+        )
+        if self._need_cbt:
+            cbt = trace_cbt_us(segment, ctx.timing)
+            self._busy.add(second, weights=cbt)
+        else:  # no consumer reads busy time or utilization
+            cbt = None
+        if self._need_ack:
+            acked, ack_time = _match_chunk(segment, next_segment)
+        else:  # no consumer in this run reads ACK-match state
+            acked = ack_time = None
+        chunk = Chunk(
+            trace=segment,
+            index=self._index,
+            start_row=self._start_row,
+            second=second,
+            cbt_us=cbt,
+            acked=acked,
+            ack_time_us=ack_time,
+        )
+        for consumer in self.consumers:
+            consumer.consume(chunk)
+        self._max_second = int(second[-1])
+        self._start_row += len(segment)
+        self._index += 1
+
+    # -- one-shot -----------------------------------------------------------
 
     def run(self, source) -> dict[str, object]:
         """Stream ``source`` through every consumer; return results by name.
@@ -165,64 +298,10 @@ class PipelineExecutor:
             )
 
     def _run(self, source) -> dict[str, object]:
-        ctx = self.ctx = StreamContext(**self._ctx_args)
-        for consumer in self.consumers:
-            consumer.start(ctx)
-
-        busy = SecondAccumulator()
-        max_second = -1
-        last_time = None
-        start_row = 0
-        index = 0
-        need_ack = any(c.needs_ack_match for c in self.consumers)
-        need_cbt = any(c.needs_cbt for c in self.consumers)
-        segments = as_stream(source, self.chunk_frames)
-        for segment, next_segment in _segments_with_lookahead(segments):
-            if not segment.is_time_sorted():
-                raise ValueError("stream segments must be time-sorted")
-            first = int(segment.time_us[0])
-            if last_time is not None and first < last_time:
-                raise ValueError(
-                    "stream segments must be non-overlapping and ordered: "
-                    f"segment starts at {first} before previous end {last_time}"
-                )
-            if ctx.start_us is None:
-                ctx.start_us = first
-            second = ((segment.time_us - ctx.start_us) // 1_000_000).astype(
-                np.int64
-            )
-            if need_cbt:
-                cbt = trace_cbt_us(segment, ctx.timing)
-                busy.add(second, weights=cbt)
-            else:  # no consumer reads busy time or utilization
-                cbt = None
-            if need_ack:
-                acked, ack_time = _match_chunk(segment, next_segment)
-            else:  # no consumer in this run reads ACK-match state
-                acked = ack_time = None
-            chunk = Chunk(
-                trace=segment,
-                index=index,
-                start_row=start_row,
-                second=second,
-                cbt_us=cbt,
-                acked=acked,
-                ack_time_us=ack_time,
-            )
-            for consumer in self.consumers:
-                consumer.consume(chunk)
-            max_second = int(second[-1])
-            last_time = int(segment.time_us[-1])
-            start_row += len(segment)
-            index += 1
-
-        ctx.n_seconds = max_second + 1
-        if need_cbt:
-            ctx.utilization = UtilizationSeries(
-                start_us=int(ctx.start_us or 0),
-                percent=busy.totals(ctx.n_seconds) / 1_000_000.0 * 100.0,
-            )
-        return self._finalize()
+        self.reset()
+        for segment in as_stream(source, self.chunk_frames):
+            self.feed(segment)
+        return self.close()
 
     def _finalize(self) -> dict[str, object]:
         results: dict[str, object] = {}
@@ -262,6 +341,39 @@ def run_consumers(
     return executor.run(source)
 
 
+def assemble_report(
+    results: Mapping[str, object], name: str = "trace"
+) -> CongestionReport:
+    """Build a :class:`CongestionReport` from full-run consumer results.
+
+    ``results`` must hold every :data:`DEFAULT_CONSUMERS` entry (the
+    roster analyses are optional) — the dict :meth:`PipelineExecutor.run`,
+    :meth:`~PipelineExecutor.snapshot` or :meth:`~PipelineExecutor.close`
+    returns for a default consumer set.  This is the assembly
+    :func:`run_all` performs; the serve layer reuses it to turn rolling
+    snapshots into reports.
+    """
+    congestion = results["congestion"]
+    return CongestionReport(
+        name=name,
+        summary=results["summary"],
+        utilization=results["utilization"],
+        thresholds=congestion.thresholds,
+        level_occupancy=congestion.level_occupancy,
+        throughput=congestion.classifier.curves,
+        rts_cts=results["rts_cts"],
+        busytime_share=results["busytime_share"],
+        bytes_per_rate=results["bytes_per_rate"],
+        transmissions=results["transmissions"],
+        reception=results["reception"],
+        delays=results["delays"],
+        unrecorded=results["unrecorded"],
+        ap_activity=results.get("ap_activity"),
+        unrecorded_per_ap=results.get("unrecorded_per_ap"),
+        user_series=results.get("user_series"),
+    )
+
+
 def run_all(
     source,
     roster: NodeRoster | None = None,
@@ -286,31 +398,40 @@ def run_all(
         min_count=min_count,
         chunk_frames=chunk_frames,
     )
-    congestion = results["congestion"]
-    return CongestionReport(
-        name=name,
-        summary=results["summary"],
-        utilization=results["utilization"],
-        thresholds=congestion.thresholds,
-        level_occupancy=congestion.level_occupancy,
-        throughput=congestion.classifier.curves,
-        rts_cts=results["rts_cts"],
-        busytime_share=results["busytime_share"],
-        bytes_per_rate=results["bytes_per_rate"],
-        transmissions=results["transmissions"],
-        reception=results["reception"],
-        delays=results["delays"],
-        unrecorded=results["unrecorded"],
-        ap_activity=results.get("ap_activity"),
-        unrecorded_per_ap=results.get("unrecorded_per_ap"),
-        user_series=results.get("user_series"),
-    )
+    return assemble_report(results, name=name)
 
 
-def _run_batch_item(item) -> tuple[str, CongestionReport]:
+@dataclass(frozen=True)
+class FailedAnalysis:
+    """One capture of a batch whose analysis raised.
+
+    Mirrors the campaign runner's ``FailedCell``: the batch completes
+    without the failing capture, and the record carries enough to
+    diagnose and retry (error type, message, full traceback).
+    """
+
+    name: str
+    source: str
+    error_type: str
+    error: str
+    traceback: str
+
+
+def _run_batch_item(item) -> tuple[str, object]:
     """Module-level batch worker (picklable for process pools)."""
-    trace_name, source, kwargs = item
-    return trace_name, run_all(source, name=trace_name, **kwargs)
+    trace_name, source, capture_errors, kwargs = item
+    try:
+        return trace_name, run_all(source, name=trace_name, **kwargs)
+    except Exception as error:
+        if not capture_errors:
+            raise
+        return trace_name, FailedAnalysis(
+            name=trace_name,
+            source=str(source) if isinstance(source, (str, Path)) else type(source).__name__,
+            error_type=type(error).__name__,
+            error=str(error),
+            traceback=_traceback.format_exc(),
+        )
 
 
 def run_batch(
@@ -322,7 +443,8 @@ def run_batch(
     timing: TimingParameters = DOT11B_TIMING,
     min_count: int = 1,
     chunk_frames: int = DEFAULT_CHUNK_FRAMES,
-) -> dict[str, CongestionReport]:
+    on_error: str = "capture",
+) -> dict[str, CongestionReport | FailedAnalysis]:
     """Analyze many captures in parallel, one single-pass run each.
 
     ``traces`` may be a mapping ``{name: source}``, a sequence of
@@ -330,11 +452,20 @@ def run_batch(
     ``trace-0`` .. ``trace-N``).  Sources are anything :func:`run_all`
     accepts.  Results preserve input order.
 
+    One capture raising (a truncated pcap, an unsortable feed) does
+    **not** abort the batch: its entry becomes a :class:`FailedAnalysis`
+    record and every other capture still returns its report.  Pass
+    ``on_error="raise"`` for the historical all-or-nothing behaviour.
+
     ``mode`` picks the worker pool: ``"process"`` (true parallelism —
     pcap decode is GIL-bound Python) or ``"thread"`` (no pickling of
     in-memory traces).  Default: processes when every source is a
     path, threads otherwise.
     """
+    if on_error not in ("capture", "raise"):
+        raise ValueError(
+            f"on_error must be 'capture' or 'raise', got {on_error!r}"
+        )
     if isinstance(traces, Mapping):
         items = list(traces.items())
     else:
@@ -356,7 +487,8 @@ def run_batch(
         min_count=min_count,
         chunk_frames=chunk_frames,
     )
-    jobs = [(name, source, kwargs) for name, source in items]
+    capture_errors = on_error == "capture"
+    jobs = [(name, source, capture_errors, kwargs) for name, source in items]
 
     if mode is not None and mode not in ("process", "thread"):
         raise ValueError(f"mode must be 'process' or 'thread', got {mode!r}")

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..frames import FrameType, NodeRoster, Trace
 from ..core.timing import DOT11B_TIMING, TimingParameters
+from ..pcap import TruncatedPcapError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.utilization import UtilizationSeries
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_CHUNK_FRAMES",
     "Chunk",
     "StreamContext",
+    "TruncatedPcapError",
     "UnsortedStreamError",
     "trace_chunks",
     "pcap_chunks",
@@ -149,6 +151,11 @@ def pcap_chunks(
     batch raises :class:`UnsortedStreamError` (the executor falls back
     to load-and-sort for path sources; do the same by hand with
     ``trace_chunks(read_trace(path))``).
+
+    A capture with a truncated or corrupt tail yields every cleanly
+    decoded batch first, then raises :class:`TruncatedPcapError`
+    (byte offset + frames read) — callers see the intact prefix and a
+    typed failure, never a raw ``struct.error``.
     """
     from ..pcap import read_trace_batches
 

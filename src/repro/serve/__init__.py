@@ -1,0 +1,58 @@
+"""``repro serve`` — the always-on multi-feed analysis daemon.
+
+Layers (each importable and testable on its own):
+
+* :mod:`~repro.serve.protocol` — the length-prefixed frame-batch wire
+  format (``RPF1`` framing over :data:`~repro.frames.TRACE_SCHEMA`);
+* :mod:`~repro.serve.feeds` — :class:`FeedManager` / :class:`Feed`:
+  per-feed worker tasks over incremental pipeline executors, bounded
+  ingest queues, ordered fault delivery, graceful drain;
+* :mod:`~repro.serve.reportjson` — the JSON view of a rolling
+  :class:`~repro.core.report.CongestionReport`;
+* :mod:`~repro.serve.server` — :class:`ServeDaemon`, the stdlib
+  asyncio HTTP front end plus the TCP ingest listener, and
+  :func:`serve_main` behind the ``repro serve`` CLI subcommand.
+"""
+
+from .feeds import (
+    DEFAULT_QUEUE_CHUNKS,
+    Feed,
+    FeedError,
+    FeedManager,
+    UnknownFeedError,
+)
+from .protocol import (
+    BATCH_MAGIC,
+    MAX_BATCH_BYTES,
+    FrameBatchError,
+    decode_batch,
+    encode_batch,
+    encode_eof,
+    frame_batch,
+    read_batches,
+    write_batch,
+    write_eof,
+)
+from .reportjson import report_to_jsonable
+from .server import ServeDaemon, serve_main
+
+__all__ = [
+    "BATCH_MAGIC",
+    "DEFAULT_QUEUE_CHUNKS",
+    "Feed",
+    "FeedError",
+    "FeedManager",
+    "FrameBatchError",
+    "MAX_BATCH_BYTES",
+    "ServeDaemon",
+    "UnknownFeedError",
+    "decode_batch",
+    "encode_batch",
+    "encode_eof",
+    "frame_batch",
+    "read_batches",
+    "report_to_jsonable",
+    "serve_main",
+    "write_batch",
+    "write_eof",
+]

@@ -1,0 +1,63 @@
+"""JSON shape of a rolling :class:`~repro.core.report.CongestionReport`.
+
+The daemon's ``/feeds/<id>/report`` endpoint and the CI equivalence
+smoke both build their payload here, so "the served report equals the
+batch report" is a byte comparison of two calls to the same function —
+one over the daemon's snapshot, one over a local ``run_all``.
+
+This is a *view*, not an interchange format: scalars and per-second
+series only, floats rounded to a fixed precision so the comparison is
+stable across JSON round trips.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.report import CongestionReport
+
+__all__ = ["report_to_jsonable"]
+
+_FLOAT_DIGITS = 6
+
+
+def _round(value: float) -> float:
+    return round(float(value), _FLOAT_DIGITS)
+
+
+def report_to_jsonable(report: "CongestionReport") -> dict[str, object]:
+    """The report as plain JSON-serialisable scalars and lists."""
+    empty = report.summary.n_frames == 0
+    payload: dict[str, object] = {
+        "name": report.name,
+        "summary": report.summary.as_row(),
+        "thresholds": {
+            "low": _round(report.thresholds.low),
+            "high": _round(report.thresholds.high),
+        },
+        "level_occupancy": {
+            level.label: _round(fraction)
+            for level, fraction in report.level_occupancy.items()
+        },
+        "utilization": {
+            "start_us": int(report.utilization.start_us),
+            "n_seconds": len(report.utilization.percent),
+            "percent": [_round(p) for p in report.utilization.percent],
+        },
+        "unrecorded": {
+            "captured_frames": int(report.unrecorded.captured_frames),
+            "missing_data": int(report.unrecorded.missing_data),
+            "missing_rts": int(report.unrecorded.missing_rts),
+            "missing_cts": int(report.unrecorded.missing_cts),
+            "unrecorded_percent": _round(report.unrecorded.unrecorded_percent),
+        },
+    }
+    # headline() divides by zero-frame aggregates on an empty report;
+    # an empty feed still answers with its (empty) summary.
+    payload["headline"] = (
+        {}
+        if empty
+        else {key: _round(value) for key, value in report.headline().items()}
+    )
+    return payload

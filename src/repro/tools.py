@@ -13,6 +13,7 @@ Usage (``repro`` and ``python -m repro`` are the same program)::
     repro campaign-status --store campaign-store \\
         --scenario ramp --vary n_stations=10,20,40 --seeds 2
     repro info capture.pcap
+    repro serve --port 8433
 
 ``run`` executes a declarative experiment spec (TOML/JSON — see
 :mod:`repro.api.spec`); the other subcommands are thin adapters over
@@ -26,7 +27,8 @@ through the pipeline, bounded memory) and prints/saves the campaign
 summary — with ``--store`` every finished cell persists immediately
 (crash-safe) and ``--resume`` re-runs only missing cells;
 ``campaign-status`` lists done/pending/failed cells of a stored grid;
-``info`` prints the Table-1 style summary only.
+``info`` prints the Table-1 style summary only; ``serve`` runs the
+always-on multi-feed analysis daemon (:mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -233,6 +235,49 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on analysis daemon (HTTP JSON + TCP ingest)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8433,
+        help="HTTP port (0 = ephemeral; see --port-file)",
+    )
+    serve.add_argument(
+        "--ingest-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP frame-batch ingest port (0 = ephemeral, -1 = disabled)",
+    )
+    serve.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=DEFAULT_CHUNK_FRAMES,
+        help="frames per analysis segment",
+    )
+    serve.add_argument(
+        "--queue-chunks",
+        type=int,
+        default=8,
+        help="per-feed ingest queue bound, in segments (backpressure knob)",
+    )
+    serve.add_argument(
+        "--max-feeds", type=int, default=64, help="concurrent feed limit"
+    )
+    serve.add_argument(
+        "--port-file",
+        default=None,
+        metavar="PATH",
+        help="write bound ports as JSON once listening "
+        "(the reliable way to use ephemeral ports)",
+    )
+
     return parser
 
 
@@ -342,6 +387,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if report.summary.n_frames == 0:
             print(f"{name}: empty capture", file=sys.stderr)
             rc = 1
+    for failure in result.failures:
+        print(
+            f"{failure.source}: analysis failed "
+            f"[{failure.error_type}: {failure.error}]",
+            file=sys.stderr,
+        )
+        rc = 1
     return rc
 
 
@@ -394,7 +446,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     )
     printed = 0
     empty: list[str] = []
+    failed = {f.name: f for f in result.failures}
     for name, path in result.sources:
+        if name in failed:
+            continue
         report = result.reports[name]
         if report.summary.n_frames == 0:
             empty.append(path)
@@ -405,7 +460,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         printed += 1
     for path in empty:
         print(f"{path}: empty capture", file=sys.stderr)
-    return 1 if empty else 0
+    for failure in result.failures:
+        print(
+            f"{failure.source}: analysis failed "
+            f"[{failure.error_type}: {failure.error}]",
+            file=sys.stderr,
+        )
+    return 1 if empty or result.failures else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -526,6 +587,27 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import serve_main
+
+    try:
+        return asyncio.run(
+            serve_main(
+                args.host,
+                args.port,
+                None if args.ingest_port < 0 else args.ingest_port,
+                chunk_frames=args.chunk_frames,
+                queue_chunks=args.queue_chunks,
+                max_feeds=args.max_feeds,
+                port_file=args.port_file,
+            )
+        )
+    except KeyboardInterrupt:  # signal handler not installable: still drain
+        return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "simulate": _cmd_simulate,
@@ -533,6 +615,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "campaign-status": _cmd_campaign_status,
     "info": _cmd_info,
+    "serve": _cmd_serve,
 }
 
 

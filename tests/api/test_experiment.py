@@ -245,3 +245,42 @@ class TestAnalysisSubsetWorkers:
                 serial.metrics[name]["summary"].as_row()
                 == pooled.metrics[name]["summary"].as_row()
             )
+
+
+class TestAnalysisFailures:
+    """A broken capture becomes a failure record, not an aborted run."""
+
+    @pytest.fixture
+    def broken_pcap(self, tiny_pcap, tmp_path):
+        from pathlib import Path
+
+        raw = Path(tiny_pcap).read_bytes()
+        path = tmp_path / "broken.pcap"
+        path.write_bytes(raw[: len(raw) - 11])
+        return str(path)
+
+    def test_failures_captured_alongside_reports(self, tiny_pcap, broken_pcap):
+        result = Experiment.pcaps(tiny_pcap, broken_pcap).run(workers=1)
+        assert list(result.reports) == [tiny_pcap]
+        (failure,) = result.failures
+        assert failure.name == broken_pcap
+        assert failure.error_type == "TruncatedPcapError"
+
+    def test_render_names_the_failure(self, tiny_pcap, broken_pcap):
+        result = Experiment.pcaps(tiny_pcap, broken_pcap).run(workers=1)
+        text = result.render()
+        assert "analysis failed" in text
+        assert "TruncatedPcapError" in text
+
+    def test_to_json_lists_failed_captures(self, tiny_pcap, broken_pcap):
+        import json
+
+        result = Experiment.pcaps(tiny_pcap, broken_pcap).run(workers=1)
+        payload = json.loads(result.to_json())
+        (record,) = payload["failed_captures"]
+        assert record["name"] == broken_pcap
+        assert record["error_type"] == "TruncatedPcapError"
+
+    def test_all_good_runs_have_no_failures(self, tiny_pcap):
+        result = Experiment.pcaps(tiny_pcap).run(workers=1)
+        assert result.failures == ()

@@ -292,3 +292,107 @@ class TestTypoSuggestions:
         rc = main(["campaign", "--scenario", "rampp", "--vary", "n_stations=3"])
         assert rc == 2
         assert "did you mean 'ramp'" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_parser_serve_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.host == "127.0.0.1"
+        assert args.queue_chunks == 8
+        assert args.max_feeds == 64
+        assert args.port_file is None
+
+    def test_analyze_truncated_capture_reports_failure(self, tmp_path, capsys):
+        """A broken file is reported on stderr; good reports still print."""
+        good = tmp_path / "good.pcap"
+        rc = main(
+            [
+                "simulate", str(good),
+                "--stations", "3", "--duration", "3",
+                "--uplink-pps", "5", "--downlink-pps", "8",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        broken = tmp_path / "broken.pcap"
+        broken.write_bytes(good.read_bytes()[:-11])
+
+        rc = main(["analyze", str(good), str(broken)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "Congestion classes" in captured.out
+        assert "TruncatedPcapError" in captured.err
+
+    def test_serve_subprocess_end_to_end(self, tmp_path):
+        """Boot the real daemon process, drive it with urllib, SIGINT it."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        port_file = tmp_path / "ports.json"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--port-file", str(port_file),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while not port_file.exists():
+                assert proc.poll() is None, proc.stdout.read().decode()
+                assert time.monotonic() < deadline, "daemon never wrote ports"
+                time.sleep(0.05)
+            port = json.loads(port_file.read_text())["http_port"]
+            base = f"http://127.0.0.1:{port}"
+            health = json.load(
+                urllib.request.urlopen(base + "/health", timeout=10)
+            )
+            assert health["status"] == "ok"
+            request = urllib.request.Request(
+                base + "/feeds",
+                data=json.dumps(
+                    {
+                        "kind": "scenario",
+                        "scenario": "ramp",
+                        "params": {"duration_s": 1},
+                        "name": "sim",
+                    }
+                ).encode(),
+            )
+            feed = json.load(urllib.request.urlopen(request, timeout=30))
+            assert feed["id"] == "sim"
+            deadline = time.monotonic() + 60
+            while True:
+                info = json.load(
+                    urllib.request.urlopen(base + "/feeds/sim", timeout=10)
+                )
+                if info["state"] != "running":
+                    break
+                assert time.monotonic() < deadline, "scenario never finished"
+                time.sleep(0.05)
+            assert info["state"] == "closed"
+            report = json.load(
+                urllib.request.urlopen(base + "/feeds/sim/report", timeout=10)
+            )
+            assert report["summary"]["frames"] == info["frames_in"]
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

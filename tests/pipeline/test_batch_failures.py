@@ -1,0 +1,90 @@
+"""run_batch fault capture: one bad capture never aborts the batch.
+
+Mirrors the campaign store's ``FailedCell`` contract at the analysis
+layer — a failed file becomes a typed :class:`FailedAnalysis` record
+(error type, message, traceback) keyed like any report, and every
+healthy capture still returns its numbers.
+"""
+
+import pytest
+
+from repro.core import CongestionReport
+from repro.frames import Trace
+from repro.pcap import TruncatedPcapError, write_trace
+from repro.pipeline import FailedAnalysis, run_batch
+
+from ..conftest import ack, data
+
+
+@pytest.fixture
+def pcap_pair(tmp_path):
+    """One clean pcap and one truncated mid-record."""
+    rows = [
+        data(1_000, src=10, dst=1, seq=0),
+        ack(2_400, src=1, dst=10),
+        data(11_000, src=10, dst=1, seq=1),
+        ack(12_400, src=1, dst=10),
+    ]
+    good = tmp_path / "good.pcap"
+    write_trace(Trace.from_rows(rows), good)
+    raw = good.read_bytes()
+    bad = tmp_path / "bad.pcap"
+    bad.write_bytes(raw[: len(raw) - 7])
+    return good, bad
+
+
+def test_failure_captured_others_succeed(pcap_pair):
+    good, bad = pcap_pair
+    results = run_batch({"good": good, "bad": bad}, max_workers=1)
+    assert isinstance(results["good"], CongestionReport)
+    assert results["good"].summary.n_frames == 4
+    failure = results["bad"]
+    assert isinstance(failure, FailedAnalysis)
+    assert failure.name == "bad"
+    assert failure.error_type == "TruncatedPcapError"
+    assert "truncated" in failure.error
+    assert "TruncatedPcapError" in failure.traceback
+
+
+def test_failure_records_preserve_order(pcap_pair):
+    good, bad = pcap_pair
+    results = run_batch([("bad", bad), ("good", good)], max_workers=1)
+    assert list(results) == ["bad", "good"]
+
+
+def test_on_error_raise_restores_old_behaviour(pcap_pair):
+    good, bad = pcap_pair
+    with pytest.raises(TruncatedPcapError):
+        run_batch({"good": good, "bad": bad}, max_workers=1, on_error="raise")
+
+
+def test_on_error_validated(pcap_pair):
+    good, _ = pcap_pair
+    with pytest.raises(ValueError, match="on_error"):
+        run_batch({"good": good}, on_error="ignore")
+
+
+def test_capture_in_parallel_pool(pcap_pair):
+    """FailedAnalysis records pickle across the process pool."""
+    good, bad = pcap_pair
+    results = run_batch(
+        {"good": good, "bad": bad}, max_workers=2, mode="process"
+    )
+    assert isinstance(results["good"], CongestionReport)
+    assert isinstance(results["bad"], FailedAnalysis)
+    assert results["bad"].error_type == "TruncatedPcapError"
+
+
+def test_missing_file_is_captured_too(tmp_path, pcap_pair):
+    good, _ = pcap_pair
+    results = run_batch(
+        {"good": good, "ghost": tmp_path / "nope.pcap"}, max_workers=1
+    )
+    assert isinstance(results["good"], CongestionReport)
+    assert results["ghost"].error_type == "FileNotFoundError"
+
+
+def test_failed_analysis_source_is_recorded(pcap_pair):
+    _, bad = pcap_pair
+    results = run_batch({"bad": bad}, max_workers=1)
+    assert results["bad"].source == str(bad)
