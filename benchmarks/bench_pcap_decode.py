@@ -1,0 +1,121 @@
+"""pcap ingest micro-benchmark: vectorized decode vs the scalar codecs.
+
+Generates a realistic simulated capture, reads it back twice — once
+through the legacy per-record scalar path (struct unpack + codec per
+frame, the behavioural reference kept as
+:func:`repro.pcap.pcapio._decode_record_scalar`) and once through the
+production numpy batch decoder — then verifies the two reads are
+**byte-identical** across every trace column and reports the speedup.
+
+Exits non-zero if the vectorized path is not strictly faster or the
+outputs differ, so CI can run this as a gate::
+
+    python benchmarks/bench_pcap_decode.py
+    python benchmarks/bench_pcap_decode.py --frames 50000 --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.frames import TRACE_COLUMNS, Trace  # noqa: E402
+from repro.pcap import read_trace, write_trace  # noqa: E402
+from repro.pcap.pcapio import (  # noqa: E402
+    _RowBuffer,
+    _decode_record_scalar,
+    _scan_records,
+)
+from repro.sim import build_scenario  # noqa: E402
+
+
+def make_capture(path: Path, min_frames: int) -> int:
+    """Simulate until at least ``min_frames`` are on disk."""
+    traces = []
+    total = 0
+    seed = 7
+    while total < min_frames:
+        built = build_scenario(
+            "uniform",
+            n_stations=12,
+            duration_s=8.0,
+            seed=seed,
+            rtscts_fraction=0.3,
+        )
+        trace = built.run().ground_truth
+        traces.append(trace)
+        total += len(trace)
+        seed += 1
+    merged = Trace.concatenate(traces) if len(traces) > 1 else traces[0]
+    return write_trace(merged, path)
+
+
+def read_scalar(path: Path) -> Trace:
+    """The pre-vectorization reader: one struct/codec pass per record."""
+    raw = path.read_bytes()[24:]
+    offsets, consumed = _scan_records(raw)
+    assert consumed == len(raw), "benchmark capture must be clean"
+    rows = _RowBuffer()
+    for offset in offsets:
+        rows.append_row(
+            _decode_record_scalar(raw, offset, 24 + offset, len(rows), path)
+        )
+    return rows.flush()
+
+
+def bench(fn, path: Path, repeats: int) -> tuple[float, Trace]:
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(path)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--frames", type=int, default=40_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.pcap"
+        n = make_capture(path, args.frames)
+        size_mb = path.stat().st_size / 1e6
+        print(f"capture: {n} frames, {size_mb:.1f} MB")
+
+        scalar_s, scalar_trace = bench(read_scalar, path, args.repeats)
+        vector_s, vector_trace = bench(read_trace, path, args.repeats)
+
+    for name in TRACE_COLUMNS:
+        a, b = scalar_trace.column(name), vector_trace.column(name)
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            print(f"MISMATCH in column {name!r}", file=sys.stderr)
+            return 1
+
+    speedup = scalar_s / vector_s
+    print(
+        f"scalar : {scalar_s * 1e3:8.1f} ms  ({n / scalar_s:>12,.0f} frames/s)"
+    )
+    print(
+        f"vector : {vector_s * 1e3:8.1f} ms  ({n / vector_s:>12,.0f} frames/s)"
+    )
+    print(f"speedup: {speedup:.1f}x, outputs byte-identical")
+    if speedup <= 1.0:
+        print("vectorized decode is not faster", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,10 +10,18 @@ check is meaningful across machines: a committed baseline measured on a
 fast workstation is scaled by the current machine's calibration ratio
 before comparing.
 
+Every scenario is measured once per fidelity (``default`` — the
+golden-digest-pinned event-stepped engine — and ``fast``, the columnar
+batch-stepped core); the JSON stores per-fidelity sections and the
+regression check compares strictly like-for-like (same mode, same
+fidelity, same scenario).  A speedup line reports fast vs default for
+each scenario.
+
 Usage::
 
     python benchmarks/bench_sim_speed.py                  # full, writes BENCH_sim.json
     python benchmarks/bench_sim_speed.py --quick          # short durations
+    python benchmarks/bench_sim_speed.py --fidelity fast  # one engine only
     python benchmarks/bench_sim_speed.py --quick --check BENCH_sim.json
                                                           # fail on >20% fps regression
 
@@ -42,6 +50,9 @@ SCENARIOS = {
     "ramp": (20.0, 6.0),
 }
 
+#: Engines measured (see ``repro.sim.FIDELITY_MODES``).
+FIDELITIES = ("default", "fast")
+
 #: Allowed frames/sec drop vs. the (calibration-scaled) baseline.
 REGRESSION_TOLERANCE = 0.20
 
@@ -64,7 +75,9 @@ def calibration_score(iterations: int = 400_000) -> float:
     return iterations / elapsed / 1e6
 
 
-def measure_scenario(name: str, duration_s: float) -> dict[str, object]:
+def measure_scenario(
+    name: str, duration_s: float, fidelity: str = "default"
+) -> dict[str, object]:
     """Build + stream one scenario to exhaustion; return its metrics.
 
     Best of two passes: identical fixed-seed runs, so the faster pass is
@@ -75,7 +88,7 @@ def measure_scenario(name: str, duration_s: float) -> dict[str, object]:
 
     best = None
     for _ in range(2):
-        built = build_scenario(name, duration_s=duration_s)
+        built = build_scenario(name, duration_s=duration_s, fidelity=fidelity)
         start = time.perf_counter()
         frames_streamed = 0
         for chunk in built.stream(window_s=1.0):
@@ -102,10 +115,10 @@ def measure_scenario(name: str, duration_s: float) -> dict[str, object]:
     }
 
 
-def _run_child(name: str, duration_s: float) -> dict[str, object]:
+def _run_child(name: str, duration_s: float, fidelity: str) -> dict[str, object]:
     """Run one scenario in a fresh interpreter for clean peak-RSS."""
     proc = subprocess.run(
-        [sys.executable, __file__, "--_child", name, str(duration_s)],
+        [sys.executable, __file__, "--_child", name, str(duration_s), fidelity],
         capture_output=True,
         text=True,
         check=True,
@@ -113,29 +126,40 @@ def _run_child(name: str, duration_s: float) -> dict[str, object]:
     return json.loads(proc.stdout)
 
 
-def run_benchmark(quick: bool) -> dict[str, object]:
+def run_benchmark(quick: bool, fidelities: tuple[str, ...]) -> dict[str, object]:
     """Measure the quick durations always, plus the full ones unless --quick.
 
     Storing both modes in one JSON lets a fast CI job (``--quick
     --check``) compare against the committed full-run baseline without
-    comparing different simulation durations against each other.
+    comparing different simulation durations against each other.  Each
+    mode holds one section per fidelity, so engines are also never
+    compared against each other by the regression gate.
     """
     modes = {}
     for mode in (("quick",) if quick else ("quick", "full")):
-        results = {}
-        print(f"[{mode}]")
-        for name, (full, short) in SCENARIOS.items():
-            duration = short if mode == "quick" else full
-            results[name] = _run_child(name, duration)
-            print(
-                f"{name:>16}: {results[name]['frames_per_sec']:>9,.0f} frames/s "
-                f"({results[name]['frames_transmitted']} frames in "
-                f"{results[name]['wall_s']}s, peak RSS "
-                f"{results[name]['peak_rss_mb']} MB)"
+        sections: dict[str, dict] = {}
+        for fidelity in fidelities:
+            results = {}
+            print(f"[{mode}/{fidelity}]")
+            for name, (full, short) in SCENARIOS.items():
+                duration = short if mode == "quick" else full
+                results[name] = _run_child(name, duration, fidelity)
+                print(
+                    f"{name:>16}: {results[name]['frames_per_sec']:>9,.0f} frames/s "
+                    f"({results[name]['frames_transmitted']} frames in "
+                    f"{results[name]['wall_s']}s, peak RSS "
+                    f"{results[name]['peak_rss_mb']} MB)"
+                )
+            sections[fidelity] = results
+        if "default" in sections and "fast" in sections:
+            speedups = ", ".join(
+                f"{name} {sections['fast'][name]['frames_per_sec'] / sections['default'][name]['frames_per_sec']:.1f}x"
+                for name in SCENARIOS
             )
-        modes[mode] = results
+            print(f"[{mode}] fast vs default speedup: {speedups}")
+        modes[mode] = sections
     return {
-        "schema": 2,
+        "schema": 3,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "calibration_score": round(calibration_score(), 3),
@@ -143,39 +167,61 @@ def run_benchmark(quick: bool) -> dict[str, object]:
     }
 
 
+def _per_fidelity_modes(payload: dict) -> dict:
+    """Normalise a results payload to mode → fidelity → scenario.
+
+    Schema 2 files (pre-fidelity) stored scenarios directly under the
+    mode; they compare as the ``default`` engine.
+    """
+    if payload.get("schema", 2) >= 3:
+        return payload["modes"]
+    return {
+        mode: {"default": entries} for mode, entries in payload["modes"].items()
+    }
+
+
 def check_regression(current: dict, baseline_path: Path) -> int:
     """Exit code 1 if any scenario regressed >20% vs. the scaled baseline.
 
-    Only modes present in both runs are compared, and baseline
-    frames/sec are scaled by the machines' calibration ratio so a
-    baseline committed from a fast workstation remains meaningful on a
-    slower CI runner.
+    Strictly like-for-like: only (mode, fidelity, scenario) triples
+    present in both runs are compared — the fast engine is never gated
+    against default numbers or vice versa.  Baseline frames/sec are
+    scaled by the machines' calibration ratio so a baseline committed
+    from a fast workstation remains meaningful on a slower CI runner.
     """
     baseline = json.loads(baseline_path.read_text())
     scale = current["calibration_score"] / baseline["calibration_score"]
+    current_modes = _per_fidelity_modes(current)
     failed = False
     compared = 0
-    for mode, entries in baseline["modes"].items():
-        got_mode = current["modes"].get(mode)
+    for mode, fidelities in _per_fidelity_modes(baseline).items():
+        got_mode = current_modes.get(mode)
         if got_mode is None:
             continue
-        for name, entry in entries.items():
-            got = got_mode.get(name)
-            if got is None:
-                print(f"{mode}/{name}: missing from current run", file=sys.stderr)
-                failed = True
+        for fidelity, entries in fidelities.items():
+            got_fidelity = got_mode.get(fidelity)
+            if got_fidelity is None:
                 continue
-            compared += 1
-            floor = entry["frames_per_sec"] * scale * (1.0 - REGRESSION_TOLERANCE)
-            status = "ok" if got["frames_per_sec"] >= floor else "REGRESSION"
-            print(
-                f"{mode}/{name:>16}: {got['frames_per_sec']:>9,.0f} frames/s "
-                f"vs floor {floor:,.0f} (baseline "
-                f"{entry['frames_per_sec']:,.0f} × {scale:.2f} machine scale)"
-                f" — {status}"
-            )
-            if status != "ok":
-                failed = True
+            for name, entry in entries.items():
+                label = f"{mode}/{fidelity}/{name}"
+                got = got_fidelity.get(name)
+                if got is None:
+                    print(f"{label}: missing from current run", file=sys.stderr)
+                    failed = True
+                    continue
+                compared += 1
+                floor = (
+                    entry["frames_per_sec"] * scale * (1.0 - REGRESSION_TOLERANCE)
+                )
+                status = "ok" if got["frames_per_sec"] >= floor else "REGRESSION"
+                print(
+                    f"{label:>28}: {got['frames_per_sec']:>9,.0f} frames/s "
+                    f"vs floor {floor:,.0f} (baseline "
+                    f"{entry['frames_per_sec']:,.0f} × {scale:.2f} machine scale)"
+                    f" — {status}"
+                )
+                if status != "ok":
+                    failed = True
     if not compared:
         print("no comparable scenarios between runs", file=sys.stderr)
         return 1
@@ -196,15 +242,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BASELINE_JSON",
         help="compare against a committed baseline; exit 1 on >20%% regression",
     )
-    parser.add_argument("--_child", nargs=2, help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--fidelity",
+        choices=FIDELITIES + ("all",),
+        default="all",
+        help="which engine(s) to measure (default: all)",
+    )
+    parser.add_argument("--_child", nargs=3, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
     if args._child:
-        name, duration = args._child
-        print(json.dumps(measure_scenario(name, float(duration))))
+        name, duration, fidelity = args._child
+        print(json.dumps(measure_scenario(name, float(duration), fidelity)))
         return 0
 
-    current = run_benchmark(quick=args.quick)
+    fidelities = FIDELITIES if args.fidelity == "all" else (args.fidelity,)
+    current = run_benchmark(quick=args.quick, fidelities=fidelities)
     out_path = Path(args.out)
     out_path.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {out_path}")

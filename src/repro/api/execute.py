@@ -31,6 +31,7 @@ def grid_for(spec: ExperimentSpec):
         axes={key: list(values) for key, values in spec.vary},
         seeds=spec.seeds if spec.seeds is not None else 1,
         fixed=dict(spec.params),
+        fidelity=spec.fidelity,
     )
 
 
@@ -118,7 +119,9 @@ def _execute_single(spec: ExperimentSpec, keep_trace: bool) -> ExperimentResult:
 
     name = spec.name or spec.scenario
     start = time.perf_counter()
-    built = build_scenario(spec.scenario, **dict(spec.params))
+    built = build_scenario(
+        spec.scenario, fidelity=spec.fidelity or "default", **dict(spec.params)
+    )
     roster = built.roster
     scenario_result = None
     if keep_trace:

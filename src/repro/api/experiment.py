@@ -128,6 +128,15 @@ class Experiment:
             seeds = tuple(int(s) for s in seeds)
         return self._replace(seeds=seeds)
 
+    def fidelity(self, mode: str) -> "Experiment":
+        """Select the simulation engine (see ``repro.sim.FIDELITY_MODES``).
+
+        ``"default"`` is the golden-digest-pinned discrete-event engine;
+        ``"fast"`` is the columnar batch-stepped core — statistically
+        equivalent headline metrics at a fraction of the wall-clock.
+        """
+        return self._replace(fidelity=mode)
+
     def analyses(self, *names: str) -> "Experiment":
         """Select analyses by registered consumer name.
 

@@ -60,7 +60,17 @@ class SpecError(ValueError):
 
 
 #: Keys allowed at the top level of a spec mapping/file.
-_TOP_KEYS = ("name", "scenario", "pcaps", "seeds", "analyses", "params", "vary", "run")
+_TOP_KEYS = (
+    "name",
+    "scenario",
+    "pcaps",
+    "seeds",
+    "fidelity",
+    "analyses",
+    "params",
+    "vary",
+    "run",
+)
 
 #: Keys allowed inside the ``[run]`` table.
 _RUN_KEYS = (
@@ -93,6 +103,7 @@ class ExperimentSpec:
     params: tuple[tuple[str, object], ...] = ()
     vary: tuple[tuple[str, tuple[object, ...]], ...] = ()
     seeds: int | tuple[int, ...] | None = None
+    fidelity: str | None = None
     analyses: tuple[str, ...] = ()
     workers: int | None = None
     chunk_frames: int | None = None
@@ -128,6 +139,7 @@ class ExperimentSpec:
 
         scenario = typed("scenario", str, "a scenario name string")
         name = typed("name", str, "a string")
+        fidelity = typed("fidelity", str, "a fidelity mode string")
 
         pcaps_raw = data.get("pcaps", ())
         if isinstance(pcaps_raw, (str, Path)):
@@ -198,6 +210,7 @@ class ExperimentSpec:
             params=tuple((str(k), v) for k, v in params_raw.items()),
             vary=tuple(vary),
             seeds=seeds,
+            fidelity=fidelity,
             analyses=tuple(analyses_raw),
             workers=run_opt("workers", int, "an int"),
             chunk_frames=run_opt("chunk_frames", int, "an int"),
@@ -258,6 +271,8 @@ class ExperimentSpec:
             out["seeds"] = (
                 self.seeds if isinstance(self.seeds, int) else list(self.seeds)
             )
+        if self.fidelity is not None:
+            out["fidelity"] = self.fidelity
         if self.analyses:
             out["analyses"] = list(self.analyses)
         if self.params:
@@ -334,6 +349,18 @@ class ExperimentSpec:
                 "'params'/'vary'/'seeds' apply to scenario experiments, "
                 "not pcap analysis"
             )
+        if self.pcaps and self.fidelity is not None:
+            raise SpecError(
+                "'fidelity' selects a simulation engine — it does not "
+                "apply to pcap analysis"
+            )
+        if self.fidelity is not None:
+            from ..sim import FIDELITY_MODES
+
+            if self.fidelity not in FIDELITY_MODES:
+                raise SpecError(
+                    unknown_name_message("fidelity", self.fidelity, FIDELITY_MODES)
+                )
         for pcap in self.pcaps:
             if not Path(pcap).is_file():
                 raise SpecError(f"pcap not found: {pcap}")

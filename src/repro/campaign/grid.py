@@ -23,24 +23,40 @@ __all__ = ["CampaignCell", "ParameterGrid"]
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One unit of campaign work: a named scenario, parameterised."""
+    """One unit of campaign work: a named scenario, parameterised.
+
+    ``fidelity`` selects the simulation engine (see
+    :data:`repro.sim.FIDELITY_MODES`); it rides *outside* ``params``
+    because it is not a scenario parameter — it changes how the same
+    scenario is executed, and store keys must distinguish the two.
+    ``None`` means the default engine and keeps legacy cell names and
+    store keys byte-identical.
+    """
 
     scenario: str
     params: tuple[tuple[str, object], ...] = ()
     seed: int | None = None
+    fidelity: str | None = None
 
     @property
     def name(self) -> str:
         """Stable human-readable cell id, e.g. ``ramp/n_stations=20/seed=1``."""
         parts = [self.scenario]
         parts += [f"{key}={value}" for key, value in self.params]
+        if self.fidelity is not None:
+            parts.append(f"fidelity={self.fidelity}")
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
         return "/".join(parts)
 
     @property
     def kwargs(self) -> dict[str, object]:
-        """Keyword arguments for ``repro.sim.build_scenario``."""
+        """Keyword arguments for ``repro.sim.build_scenario``.
+
+        ``fidelity`` is deliberately absent: it is not a scenario
+        parameter (``scenario_config`` would reject it) — executors
+        pass ``cell.fidelity`` to ``build_scenario`` separately.
+        """
         kwargs = dict(self.params)
         if self.seed is not None:
             kwargs["seed"] = self.seed
@@ -62,6 +78,7 @@ class ParameterGrid:
     axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
     seeds: int | Sequence[int] = 1
     fixed: Mapping[str, object] = field(default_factory=dict)
+    fidelity: str | None = None
 
     def __post_init__(self) -> None:
         for key, values in self.axes.items():
@@ -71,6 +88,14 @@ class ParameterGrid:
                 raise ValueError(f"{key!r} is both an axis and fixed")
         if isinstance(self.seeds, int) and self.seeds < 1:
             raise ValueError("need at least one seed")
+        if self.fidelity is not None:
+            from ..sim import FIDELITY_MODES
+
+            if self.fidelity not in FIDELITY_MODES:
+                choices = ", ".join(repr(m) for m in FIDELITY_MODES)
+                raise ValueError(
+                    f"unknown fidelity {self.fidelity!r}: expected one of {choices}"
+                )
 
     @property
     def seed_values(self) -> tuple[int, ...]:
@@ -108,7 +133,12 @@ class ParameterGrid:
             params = fixed + tuple(zip(keys, combo))
             for seed in self.seed_values:
                 out.append(
-                    CampaignCell(scenario=self.scenario, params=params, seed=seed)
+                    CampaignCell(
+                        scenario=self.scenario,
+                        params=params,
+                        seed=seed,
+                        fidelity=self.fidelity,
+                    )
                 )
         return out
 
@@ -165,6 +195,7 @@ class ParameterGrid:
             axes=merged_axes,
             seeds=merged_seeds,
             fixed=dict(self.fixed),
+            fidelity=self.fidelity,
         )
 
     def new_cells(self, base: "ParameterGrid") -> list[CampaignCell]:

@@ -185,7 +185,9 @@ def _simulate_cell(cell: CampaignCell, options: dict, start: float) -> CellResul
     from ..pipeline import run_all
     from ..sim import build_scenario
 
-    built = build_scenario(cell.scenario, **cell.kwargs)
+    built = build_scenario(
+        cell.scenario, fidelity=cell.fidelity or "default", **cell.kwargs
+    )
     roster = built.roster
     report = run_all(
         built.stream(

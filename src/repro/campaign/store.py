@@ -176,6 +176,10 @@ def cell_key(cell: CampaignCell, salt: str) -> str:
         "seed": cell.seed,
         "salt": salt,
     }
+    if cell.fidelity is not None:
+        # Added only when set, so default-engine cells keep the keys
+        # their results were stored under before fidelity existed.
+        payload["fidelity"] = cell.fidelity
     try:
         from ..sim import scenario_config
 
@@ -231,12 +235,15 @@ def _json_safe(value):
 
 
 def _cell_payload(cell: CampaignCell) -> dict[str, object]:
-    return {
+    payload = {
         "scenario": cell.scenario,
         "params": [[k, _json_safe(v)] for k, v in cell.params],
         "seed": cell.seed,
         "name": cell.name,
     }
+    if cell.fidelity is not None:
+        payload["fidelity"] = cell.fidelity
+    return payload
 
 
 #: CellResult fields persisted to JSON (everything except ``cell`` and

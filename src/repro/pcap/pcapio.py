@@ -22,9 +22,19 @@ from typing import BinaryIO
 
 import numpy as np
 
-from ..frames import TRACE_COLUMNS, TRACE_SCHEMA, FrameType, Trace, rate_to_code
+from ..frames import (
+    BROADCAST,
+    NO_NODE,
+    TRACE_COLUMNS,
+    TRACE_SCHEMA,
+    FrameType,
+    Trace,
+    rate_to_code,
+)
+from ..frames.dot11 import RATE_CODES, frame_type_from_dot11
 from .dot11_codec import decode_frame, encode_frame
-from .radiotap import RadiotapHeader
+from .radiotap import CHANNEL_FREQ_MHZ, RadiotapHeader
+from .radiotap import _PRESENT as _RT_PRESENT
 
 __all__ = [
     "write_trace",
@@ -119,26 +129,276 @@ def write_trace(
 class _RowBuffer:
     """Decoded-record accumulator, flushed into Traces batch by batch.
 
+    Holds a row-ordered mix of column-array chunks (the vectorized
+    decoder's output) and scalar rows (the fallback decoder's output).
     Columns and dtypes come from the trace schema
     (:data:`repro.frames.TRACE_SCHEMA`) so the pcap layer never
     restates them.
     """
 
     def __init__(self) -> None:
-        self.cols: dict[str, list] = {name: [] for name, _ in TRACE_SCHEMA}
+        self._chunks: list[dict[str, np.ndarray]] = []
+        self._scalar: dict[str, list] | None = None
+        self._len = 0
 
     def __len__(self) -> int:
-        return len(self.cols["time_us"])
+        return self._len
 
-    def flush(self) -> Trace:
-        trace = Trace(
+    def append_row(self, values: dict) -> None:
+        if self._scalar is None:
+            self._scalar = {name: [] for name, _ in TRACE_SCHEMA}
+        for name, _ in TRACE_SCHEMA:
+            self._scalar[name].append(values[name])
+        self._len += 1
+
+    def append_chunk(self, cols: dict[str, np.ndarray]) -> None:
+        self._seal()
+        self._chunks.append(cols)
+        self._len += len(cols["time_us"])
+
+    def _seal(self) -> None:
+        if self._scalar is not None:
+            self._chunks.append(
+                {
+                    name: np.array(self._scalar[name], dtype=dtype)
+                    for name, dtype in TRACE_SCHEMA
+                }
+            )
+            self._scalar = None
+
+    def take(self, count: int) -> Trace:
+        """Remove and return the first ``count`` rows as a Trace."""
+        self._seal()
+        if len(self._chunks) == 1:
+            merged = self._chunks[0]
+        else:
+            merged = {
+                name: np.concatenate([c[name] for c in self._chunks])
+                for name, _ in TRACE_SCHEMA
+            }
+        if count < self._len:
+            rest = {name: col[count:] for name, col in merged.items()}
+            merged = {name: col[:count] for name, col in merged.items()}
+            self._chunks = [rest]
+            self._len -= count
+        else:
+            self._chunks = []
+            self._len = 0
+        return Trace(
             {
-                name: np.array(self.cols[name], dtype=dtype)
+                name: np.ascontiguousarray(merged[name], dtype=dtype)
                 for name, dtype in TRACE_SCHEMA
             }
         )
-        self.__init__()
-        return trace
+
+    def flush(self) -> Trace:
+        return self.take(self._len)
+
+
+# --- vectorized record decoding --------------------------------------------
+#
+# Captures written by :func:`write_trace` have one fixed shape: a
+# 24-byte radiotap header (version 0, the exact present-word
+# ``radiotap._PRESENT``) followed by an 802.11 header from our codec.
+# Records matching that shape are decoded wholesale — the byte stream is
+# viewed as a numpy array, per-record field offsets become integer
+# gathers, and one pass materialises every trace column for thousands of
+# records.  Any record that does not match (foreign radiotap geometry,
+# unknown type/subtype, alien MAC prefix, non-11b rate...) drops to the
+# scalar codec path, which reproduces the legacy per-record behaviour —
+# including which exception surfaces and with what offsets — exactly.
+
+_RT_FIXED_LEN = 24  # radiotap header write_trace emits: 8 + QBBHHbb body
+
+#: (dot11_type << 4 | subtype) -> FrameType value, 255 = undecodable.
+_FT_TABLE = np.full(64, 255, dtype=np.uint8)
+for _t in range(4):
+    for _s in range(16):
+        try:
+            _FT_TABLE[_t * 16 + _s] = int(frame_type_from_dot11(_t, _s))
+        except ValueError:
+            pass
+
+#: radiotap rate byte (0.5 Mbps units) -> trace rate code, 255 = invalid.
+_RATE_TABLE = np.full(256, 255, dtype=np.uint8)
+for _rate, _code in RATE_CODES.items():
+    _RATE_TABLE[int(_rate * 2)] = _code
+
+_FREQ_SORTED = np.array(sorted(CHANNEL_FREQ_MHZ.values()), dtype=np.uint16)
+_FREQ_CHANNEL = np.array(
+    [
+        {f: c for c, f in CHANNEL_FREQ_MHZ.items()}[int(f)]
+        for f in _FREQ_SORTED
+    ],
+    dtype=np.uint8,
+)
+
+#: Control-frame on-air sizes indexed by FrameType value.
+_CTRL_SIZE = np.zeros(8, dtype=np.uint32)
+_CTRL_SIZE[int(FrameType.ACK)] = 14
+_CTRL_SIZE[int(FrameType.CTS)] = 14
+_CTRL_SIZE[int(FrameType.RTS)] = 20
+
+#: File-read granularity for the batched reader.
+_CHUNK_BYTES = 4 << 20
+
+
+def _scan_records(buf: bytes) -> tuple[list[int], int]:
+    """Offsets of complete pcap records in ``buf`` and the bytes consumed."""
+    offs: list[int] = []
+    pos = 0
+    limit = len(buf)
+    from_bytes = int.from_bytes
+    while pos + 16 <= limit:
+        end = pos + 16 + from_bytes(buf[pos + 8 : pos + 12], "little")
+        if end > limit:
+            break
+        offs.append(pos)
+        pos = end
+    return offs, pos
+
+
+def _decode_block(u8: np.ndarray, offs: np.ndarray) -> tuple[dict, np.ndarray]:
+    """Vector-decode the records at ``offs``; returns (columns, ok mask).
+
+    Columns are full-length; positions where ``ok`` is False hold
+    garbage and must be re-decoded by the scalar path.
+    """
+    last = len(u8) - 1
+    hdr = u8[offs[:, None] + np.arange(16)].view("<u4")
+    ts_sec = hdr[:, 0].astype(np.int64)
+    ts_usec = hdr[:, 1].astype(np.int64)
+    incl = hdr[:, 2].astype(np.int64)
+    orig = hdr[:, 3].astype(np.int64)
+
+    rt = u8[np.minimum(offs[:, None] + 16 + np.arange(24), last)]
+    rt_len = rt[:, 2].astype(np.uint16) | (rt[:, 3].astype(np.uint16) << 8)
+    present = (
+        rt[:, 4].astype(np.uint32)
+        | (rt[:, 5].astype(np.uint32) << 8)
+        | (rt[:, 6].astype(np.uint32) << 16)
+        | (rt[:, 7].astype(np.uint32) << 24)
+    )
+    ok = (
+        (incl >= 34)
+        & (rt[:, 0] == 0)
+        & (rt_len == _RT_FIXED_LEN)
+        & (present == np.uint32(_RT_PRESENT))
+    )
+
+    rate_code = _RATE_TABLE[rt[:, 17]]
+    ok &= rate_code != 255
+    freq = rt[:, 18].astype(np.uint16) | (rt[:, 19].astype(np.uint16) << 8)
+    fidx = np.searchsorted(_FREQ_SORTED, freq)
+    fidx_c = np.minimum(fidx, len(_FREQ_SORTED) - 1)
+    ok &= _FREQ_SORTED[fidx_c] == freq
+    channel = _FREQ_CHANNEL[fidx_c]
+    snr = (
+        rt[:, 22].astype(np.int8).astype(np.int16)
+        - rt[:, 23].astype(np.int8).astype(np.int16)
+    ).astype(np.float32)
+
+    d11 = u8[np.minimum(offs[:, None] + 40 + np.arange(24), last)]
+    fc = d11[:, 0].astype(np.uint16) | (d11[:, 1].astype(np.uint16) << 8)
+    ftype = _FT_TABLE[((fc >> 2) & 0b11) * 16 + ((fc >> 4) & 0b1111)]
+    ok &= ftype != 255
+    retry = (fc & (1 << 11)) != 0
+
+    is_data_cls = (
+        (ftype == int(FrameType.DATA))
+        | (ftype == int(FrameType.MGMT))
+        | (ftype == int(FrameType.BEACON))
+    )
+    is_rts = ftype == int(FrameType.RTS)
+    need = np.where(is_data_cls, 48, np.where(is_rts, 40, 34))
+    ok &= incl >= need
+
+    def mac_field(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        bcast = (block == 0xFF).all(axis=1)
+        ours = (
+            (block[:, 0] == 0x02)
+            & (block[:, 1] == 0)
+            & (block[:, 2] == 0)
+            & (block[:, 3] == 0)
+        )
+        node = np.where(
+            bcast,
+            np.uint16(BROADCAST),
+            (block[:, 4].astype(np.uint16) << 8) | block[:, 5].astype(np.uint16),
+        )
+        return node, bcast | ours
+
+    dst, dst_ok = mac_field(d11[:, 4:10])
+    ok &= dst_ok
+    src2, src_ok = mac_field(d11[:, 10:16])
+    ok &= src_ok | ~(is_data_cls | is_rts)
+    src = np.where(is_data_cls | is_rts, src2, np.uint16(NO_NODE))
+
+    seq_ctrl = d11[:, 22].astype(np.uint16) | (d11[:, 23].astype(np.uint16) << 8)
+    seq = np.where(is_data_cls, seq_ctrl >> 4, np.uint16(0))
+
+    # orig_len preserves the pre-snap size: radiotap + 24 + body.
+    size = np.where(
+        is_data_cls,
+        np.maximum(orig - _RT_FIXED_LEN - 24, 0) + 24,
+        _CTRL_SIZE[ftype & 0b111],
+    ).astype(np.uint32)
+
+    cols = {
+        "time_us": ts_sec * 1_000_000 + ts_usec,
+        "ftype": ftype,
+        "rate_code": rate_code,
+        "size": size,
+        "src": src.astype(np.uint16),
+        "dst": dst.astype(np.uint16),
+        "retry": retry,
+        "channel": channel,
+        "snr_db": snr,
+        "seq": seq.astype(np.uint16),
+    }
+    return cols, ok
+
+
+def _decode_record_scalar(
+    buf: bytes, pos: int, abs_offset: int, frames_read: int, path: Path
+) -> dict:
+    """Legacy per-record decode — the behavioural reference.
+
+    Raises exactly what the historical loop raised: a
+    :class:`TruncatedPcapError` (with the record's absolute byte offset)
+    when the codecs reject the bytes, and ``rate_to_code``'s bare
+    ``ValueError`` for a well-formed record bearing a non-802.11b rate.
+    """
+    ts_sec, ts_usec, incl_len, orig_len = struct.unpack_from("<IIII", buf, pos)
+    packet = buf[pos + 16 : pos + 16 + incl_len]
+    try:
+        radiotap, rt_len = RadiotapHeader.decode(packet)
+        frame = decode_frame(packet[rt_len:])
+    except (struct.error, ValueError, KeyError, IndexError) as error:
+        raise TruncatedPcapError(
+            f"{path}: undecodable record "
+            f"({type(error).__name__}: {error})",
+            byte_offset=abs_offset,
+            frames_read=frames_read,
+        ) from error
+    if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
+        size = max(0, orig_len - rt_len - 24) + 24
+    else:
+        size = {FrameType.ACK: 14, FrameType.CTS: 14, FrameType.RTS: 20}[
+            frame.ftype
+        ]
+    return {
+        "time_us": ts_sec * 1_000_000 + ts_usec,
+        "ftype": int(frame.ftype),
+        "rate_code": rate_to_code(radiotap.rate_mbps),
+        "size": size,
+        "src": frame.src,
+        "dst": frame.dst,
+        "retry": frame.retry,
+        "channel": radiotap.channel,
+        "snr_db": radiotap.snr_db,
+        "seq": frame.seq,
+    }
 
 
 def read_trace_batches(
@@ -146,10 +406,14 @@ def read_trace_batches(
 ):
     """Incrementally read a radiotap pcap as bounded-size Traces.
 
-    Records are decoded straight off the (buffered) file handle and
-    yielded every ``batch_frames`` frames, so memory stays bounded no
-    matter how large the capture is — the streaming pipeline's pcap
-    source.  Frames are yielded in file order; captures written by
+    The file is consumed in multi-megabyte slabs, so memory stays
+    bounded no matter how large the capture is — the streaming
+    pipeline's pcap source.  Records in the shape :func:`write_trace`
+    emits are decoded in bulk via numpy gathers over the raw byte
+    stream; anything else falls back, record by record, to the scalar
+    codecs, which also own the error behaviour (damaged tails raise
+    :class:`TruncatedPcapError` *after* the clean prefix is flushed).
+    Frames are yielded in file order; captures written by
     :func:`write_trace` are time-ordered.
     """
     if batch_frames <= 0:
@@ -171,68 +435,79 @@ def read_trace_batches(
             )
 
         rows = _RowBuffer()
-        offset = 24
+        base = 24  # absolute file offset of buf[0]
+        buf = b""
         frames_read = 0
-        while True:
-            record = fp.read(16)
-            if not record:
-                break
-            if len(record) < 16:
-                # Damage found: flush the clean prefix first so
-                # streaming callers keep every frame read so far.
+        eof = False
+        while not eof:
+            data = fp.read(_CHUNK_BYTES)
+            if not data:
+                eof = True
+            else:
+                buf = buf + data if buf else data
+            rel_offs, consumed = _scan_records(buf)
+            if not eof and not rel_offs:
+                continue  # record longer than the slab: keep reading
+            if rel_offs:
+                offs = np.asarray(rel_offs, dtype=np.int64)
+                u8 = np.frombuffer(buf, dtype=np.uint8)
+                cols, ok = _decode_block(u8, offs)
+                run_start = 0
+                n_rec = len(offs)
+                while run_start < n_rec:
+                    run_ok = bool(ok[run_start])
+                    run_end = run_start + 1
+                    while run_end < n_rec and bool(ok[run_end]) == run_ok:
+                        run_end += 1
+                    if run_ok:
+                        rows.append_chunk(
+                            {
+                                name: col[run_start:run_end]
+                                for name, col in cols.items()
+                            }
+                        )
+                        frames_read += run_end - run_start
+                        while len(rows) >= batch_frames:
+                            yield rows.take(batch_frames)
+                    else:
+                        for i in range(run_start, run_end):
+                            try:
+                                values = _decode_record_scalar(
+                                    buf,
+                                    int(offs[i]),
+                                    base + int(offs[i]),
+                                    frames_read,
+                                    path,
+                                )
+                            except TruncatedPcapError:
+                                if len(rows):
+                                    yield rows.flush()
+                                raise
+                            rows.append_row(values)
+                            frames_read += 1
+                            if len(rows) >= batch_frames:
+                                yield rows.take(batch_frames)
+                    run_start = run_end
+            buf = buf[consumed:]
+            base += consumed
+        if buf:
+            # Damage found: flush the clean prefix first so streaming
+            # callers keep every frame read so far.
+            if len(buf) < 16:
                 if len(rows):
                     yield rows.flush()
                 raise TruncatedPcapError(
                     f"{path}: truncated record header",
-                    byte_offset=offset,
+                    byte_offset=base,
                     frames_read=frames_read,
                 )
-            ts_sec, ts_usec, incl_len, orig_len = struct.unpack("<IIII", record)
-            packet = fp.read(incl_len)
-            if len(packet) < incl_len:
-                if len(rows):
-                    yield rows.flush()
-                raise TruncatedPcapError(
-                    f"{path}: truncated record body",
-                    byte_offset=offset + 16,
-                    frames_read=frames_read,
-                )
-
-            try:
-                radiotap, rt_len = RadiotapHeader.decode(packet)
-                frame = decode_frame(packet[rt_len:])
-            except (struct.error, ValueError, KeyError, IndexError) as error:
-                if len(rows):
-                    yield rows.flush()
-                raise TruncatedPcapError(
-                    f"{path}: undecodable record "
-                    f"({type(error).__name__}: {error})",
-                    byte_offset=offset,
-                    frames_read=frames_read,
-                ) from error
-            offset += 16 + incl_len
-            if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
-                # orig_len preserves the pre-snap size: radiotap + 24 + body.
-                size = max(0, orig_len - rt_len - 24) + 24
-            else:
-                size = {FrameType.ACK: 14, FrameType.CTS: 14, FrameType.RTS: 20}[
-                    frame.ftype
-                ]
-
-            rows.cols["time_us"].append(ts_sec * 1_000_000 + ts_usec)
-            rows.cols["ftype"].append(int(frame.ftype))
-            rows.cols["rate_code"].append(rate_to_code(radiotap.rate_mbps))
-            rows.cols["size"].append(size)
-            rows.cols["src"].append(frame.src)
-            rows.cols["dst"].append(frame.dst)
-            rows.cols["retry"].append(frame.retry)
-            rows.cols["channel"].append(radiotap.channel)
-            rows.cols["snr_db"].append(radiotap.snr_db)
-            rows.cols["seq"].append(frame.seq)
-            frames_read += 1
-
-            if len(rows) >= batch_frames:
+            if len(rows):
                 yield rows.flush()
+            raise TruncatedPcapError(
+                f"{path}: truncated record body",
+                byte_offset=base + 16,
+                frames_read=frames_read,
+            )
         if len(rows):
             yield rows.flush()
 

@@ -22,6 +22,7 @@ from .builder import (
 from .channel_manager import ChannelManager, ChannelManagerConfig, ChannelSwitch
 from .dcf import DcfMac, MacConfig, MacStats
 from .engine import EventHandle, Simulator
+from .fastpath import FIDELITY_MODES, FastBuiltScenario
 from .medium import Medium, SimFrame, Transmission
 from .node import BEACON_INTERVAL_US, AccessPoint, Station
 from .phy import BASIC_RATE_MBPS, PhyModel, snr_db_to_linear
@@ -99,6 +100,8 @@ __all__ = [
     "EventHandle",
     "ExplicitPlacement",
     "ExplicitPopulation",
+    "FIDELITY_MODES",
+    "FastBuiltScenario",
     "FixedRate",
     "FractionPopulation",
     "HotspotPlacement",

@@ -463,6 +463,10 @@ class BuiltScenario:
             "events_processed": self.sim.events_processed,
             "events_cancelled": self.sim.events_cancelled,
             "events_pending": self.sim.events_pending,
+            # Discrete-event engine: no batch-stepped window epochs.
+            # The fast engine reports the mirror image (epochs > 0,
+            # event counters 0), so profiles stay attributable.
+            "slot_epochs": 0,
         }
 
     @property
@@ -615,12 +619,28 @@ class ScenarioBuilder:
         self._traffic = traffic
         return self
 
-    def build(self) -> BuiltScenario:
+    def build(self, fidelity: str = "default"):
         """Wire the network.  Component hooks run in a fixed order
         (placement → population → per-station impairments → traffic →
         infrastructure → sniffers) sharing one seeded RNG stream, so a
         given config + component set is fully reproducible.
+
+        ``fidelity`` selects the engine the built scenario runs on:
+        ``"default"`` is the byte-identical discrete-event machine
+        pinned by the golden-trace digests; ``"fast"`` wraps the same
+        wired network in the columnar batch-stepped core
+        (:class:`~repro.sim.fastpath.FastBuiltScenario`), which is
+        validated statistically instead.  The wiring below runs
+        identically for both, so the RNG streams — and therefore the
+        topology — never depend on the fidelity choice.
         """
+        from .fastpath import FIDELITY_MODES, FastBuiltScenario
+
+        if fidelity not in FIDELITY_MODES:
+            choices = ", ".join(repr(m) for m in FIDELITY_MODES)
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}: expected one of {choices}"
+            )
         config = self.config
         rng = np.random.default_rng(config.seed)
         sim = Simulator()
@@ -735,6 +755,8 @@ class ScenarioBuilder:
                     config=config.sniffer_config,
                 )
             )
+        if fidelity == "fast":
+            return FastBuiltScenario(built)
         return built
 
     def _station_ra_kwargs(self) -> dict:

@@ -157,10 +157,18 @@ def scenario_config(name: str, **params) -> ScenarioConfig:
     return scenario_builder(name, **params).config
 
 
-def build_scenario(name: str, **params) -> BuiltScenario:
+def build_scenario(name: str, fidelity: str = "default", **params):
     """Build (but do not run) the named scenario — call ``run()`` or
-    ``stream()`` on the result."""
-    return scenario_builder(name, **params).build()
+    ``stream()`` on the result.
+
+    ``fidelity`` picks the engine: ``"default"`` (golden-digest-pinned
+    discrete events) or ``"fast"`` (columnar batch-stepped core,
+    statistically validated).  It is deliberately *not* a scenario
+    parameter — it never alters the wired network, only the machinery
+    that runs it — so it rides outside ``params`` and campaign grids
+    key it separately.
+    """
+    return scenario_builder(name, **params).build(fidelity=fidelity)
 
 
 def _split_params(factory: Callable, params: dict) -> tuple[dict, dict]:

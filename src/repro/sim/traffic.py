@@ -288,6 +288,7 @@ class PoissonSource:
         self.schedule = schedule
         self.sizes = sizes
         self.rng = rng
+        self.start_us = max(start_us, 0)
         self.end_us = end_us
         self.packets_offered = 0
         # Generator state: the next pending event is either an

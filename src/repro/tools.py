@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override/add a [params] entry (repeatable)",
     )
     run.add_argument(
+        "--fidelity",
+        default=None,
+        metavar="MODE",
+        help="override the spec's simulation engine "
+        "(see repro.sim.FIDELITY_MODES)",
+    )
+    run.add_argument(
         "--out", default=None, help="also write the rendered result here"
     )
     run.add_argument(
@@ -116,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--rtscts-fraction", type=float, default=0.0)
     simulate.add_argument("--obstructed-fraction", type=float, default=0.25)
+    simulate.add_argument(
+        "--fidelity",
+        default="default",
+        metavar="MODE",
+        help="simulation engine (see repro.sim.FIDELITY_MODES)",
+    )
     simulate.add_argument(
         "--profile",
         action="store_true",
@@ -168,6 +181,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--seeds", type=int, default=1, help="seeds per grid point"
+    )
+    campaign.add_argument(
+        "--fidelity",
+        default=None,
+        metavar="MODE",
+        help="simulation engine for every cell "
+        "(see repro.sim.FIDELITY_MODES; affects store keys)",
     )
     campaign.add_argument(
         "--workers",
@@ -231,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--fix", action="append", default=[], metavar="KEY=VALUE")
     status.add_argument("--seeds", type=int, default=1)
+    status.add_argument(
+        "--fidelity",
+        default=None,
+        metavar="MODE",
+        help="fidelity the campaign ran with (store keys include it)",
+    )
 
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
@@ -313,12 +339,14 @@ def _parse_assignments(
     return out
 
 
-def _profiled(enabled: bool):
+def _profiled(enabled: bool, fidelity: str | None = None):
     """Context manager: cProfile the body and print the top-20 table.
 
     The evidence-gathering hook behind every perf PR: ``--profile`` on
     the ``simulate``/``campaign`` subcommands shows exactly where the
-    simulator spends its time, cumulative-sorted.
+    simulator spends its time, cumulative-sorted.  The header names the
+    fidelity mode so profiles from different engines (event-stepped
+    default vs batch-stepped fast) are never confused side by side.
     """
 
     class _Profiler:
@@ -333,7 +361,10 @@ def _profiled(enabled: bool):
             # is exactly when the profile is most wanted.
             if self.profile is not None:
                 self.profile.disable()
-                print("\n-- cProfile: top 20 by cumulative time " + "-" * 24)
+                label = f" [fidelity={fidelity or 'default'}]"
+                print(
+                    f"\n-- cProfile{label}: top 20 by cumulative time " + "-" * 24
+                )
                 stats = pstats.Stats(self.profile, stream=sys.stdout)
                 stats.strip_dirs().sort_stats("cumulative").print_stats(20)
             return False
@@ -347,6 +378,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides = _parse_assignments(args.set, multi=False)
         if overrides:
             experiment = experiment.fix(**overrides)
+        if args.fidelity is not None:
+            experiment = experiment.fidelity(args.fidelity)
         experiment = experiment.validate()
     except (SpecError, ValueError, TypeError, KeyError) as error:
         print(f"spec error: {_error_text(error)}", file=sys.stderr)
@@ -417,7 +450,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         rtscts_fraction=args.rtscts_fraction,
         obstructed_fraction=args.obstructed_fraction,
     ).analyses("summary")  # buffered run; only the cheap summary consumer
-    with _profiled(args.profile):
+    if args.fidelity != "default":
+        experiment = experiment.fidelity(args.fidelity)
+    with _profiled(args.profile, args.fidelity):
         result = experiment.run(keep_trace=True).scenario_result
     n = write_trace(result.trace, args.output)
     print(
@@ -502,7 +537,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             .vary(**axes)
             .seeds(args.seeds)
         )
-        with _profiled(args.profile):
+        if args.fidelity is not None:
+            experiment = experiment.fidelity(args.fidelity)
+        with _profiled(args.profile, args.fidelity):
             result = experiment.run(
                 workers=workers,
                 chunk_frames=args.chunk_frames,
@@ -545,6 +582,7 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                 axes=_parse_assignments(args.vary, multi=True),
                 seeds=args.seeds,
                 fixed=_parse_assignments(args.fix, multi=False),
+                fidelity=args.fidelity,
             )
         except (ValueError, TypeError) as error:
             print(f"campaign error: {error}", file=sys.stderr)

@@ -1,0 +1,167 @@
+"""Fidelity plumbing: spec key → grid → cells → store keys → engine.
+
+The ``fidelity`` knob must flow from every front door (TOML/JSON spec
+files, the fluent ``Experiment`` builder, the campaign grid) down to
+``build_scenario`` — and into the content-addressed store key, so fast
+and default results never answer for each other.  Cells *without* a
+fidelity keep their legacy names and keys byte-identical.
+"""
+
+import pytest
+
+from repro.api import Experiment, ExperimentSpec, SpecError
+from repro.campaign import ParameterGrid
+from repro.campaign.grid import CampaignCell
+from repro.campaign.store import cell_key
+
+FAST_TOML = (
+    'scenario = "uniform"\n'
+    'seeds = 2\n'
+    'fidelity = "fast"\n'
+    "[vary]\n"
+    "n_stations = [3, 4]\n"
+)
+
+
+class TestSpecKey:
+    def test_toml_round_trip(self):
+        spec = ExperimentSpec.from_toml(FAST_TOML)
+        assert spec.fidelity == "fast"
+        assert ExperimentSpec.from_toml(spec.to_toml()) == spec
+
+    def test_json_round_trip(self):
+        spec = ExperimentSpec.from_toml(FAST_TOML)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_default_fidelity_omitted_from_serialization(self):
+        spec = ExperimentSpec.from_toml('scenario = "uniform"\n')
+        assert spec.fidelity is None
+        assert "fidelity" not in spec.to_mapping()
+
+    def test_typo_gets_did_you_mean(self):
+        spec = ExperimentSpec.from_toml(
+            'scenario = "uniform"\nfidelity = "fsat"\n'
+        )
+        with pytest.raises(SpecError, match="did you mean 'fast'"):
+            spec.validate()
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SpecError, match="fidelity"):
+            ExperimentSpec.from_mapping({"scenario": "uniform", "fidelity": 2})
+
+    def test_rejected_for_pcap_analysis(self, tmp_path):
+        pcap = tmp_path / "x.pcap"
+        pcap.write_bytes(b"")
+        spec = ExperimentSpec(pcaps=(str(pcap),), fidelity="fast")
+        with pytest.raises(SpecError, match="pcap analysis"):
+            spec.validate()
+
+    def test_valid_fast_spec_validates(self):
+        ExperimentSpec.from_toml(FAST_TOML).validate()
+
+
+class TestExperimentFluent:
+    def test_fidelity_method_sets_spec(self):
+        exp = Experiment.scenario("uniform").fidelity("fast")
+        assert exp.spec().fidelity == "fast"
+
+    def test_fluent_is_immutable(self):
+        base = Experiment.scenario("uniform")
+        base.fidelity("fast")
+        assert base.spec().fidelity is None
+
+    def test_cells_carry_fidelity(self):
+        exp = (
+            Experiment.scenario("uniform")
+            .vary(n_stations=[3, 4])
+            .seeds(2)
+            .fidelity("fast")
+        )
+        cells = exp.cells()
+        assert len(cells) == 4
+        assert all(cell.fidelity == "fast" for cell in cells)
+        assert all("fidelity=fast" in cell.name for cell in cells)
+
+
+class TestGridAndCells:
+    def test_grid_validates_fidelity_eagerly(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            ParameterGrid("uniform", seeds=1, fidelity="fsat")
+
+    def test_extend_preserves_fidelity(self):
+        grid = ParameterGrid(
+            "uniform", axes={"n_stations": [3]}, seeds=1, fidelity="fast"
+        )
+        extended = grid.extend(seeds=2)
+        assert extended.fidelity == "fast"
+        assert all(cell.fidelity == "fast" for cell in extended.cells())
+
+    def test_legacy_cell_name_unchanged_without_fidelity(self):
+        cell = CampaignCell("uniform", (("n_stations", 3),), seed=1)
+        assert cell.name == "uniform/n_stations=3/seed=1"
+
+    def test_cell_name_includes_fidelity(self):
+        cell = CampaignCell(
+            "uniform", (("n_stations", 3),), seed=1, fidelity="fast"
+        )
+        assert cell.name == "uniform/n_stations=3/fidelity=fast/seed=1"
+
+    def test_kwargs_exclude_fidelity(self):
+        cell = CampaignCell(
+            "uniform", (("n_stations", 3),), seed=1, fidelity="fast"
+        )
+        assert "fidelity" not in cell.kwargs
+
+
+class TestStoreKeys:
+    PARAMS = (("duration_s", 2.0), ("n_stations", 3))
+
+    def test_keys_differ_between_fidelities(self):
+        keys = {
+            cell_key(
+                CampaignCell("uniform", self.PARAMS, seed=0, fidelity=f),
+                "salt",
+            )
+            for f in (None, "default", "fast")
+        }
+        assert len(keys) == 3
+
+    def test_keys_stable_for_equal_cells(self):
+        a = CampaignCell("uniform", self.PARAMS, seed=0, fidelity="fast")
+        b = CampaignCell("uniform", self.PARAMS, seed=0, fidelity="fast")
+        assert cell_key(a, "salt") == cell_key(b, "salt")
+
+
+class TestEndToEnd:
+    def test_fast_campaign_runs_and_stores(self, tmp_path):
+        store = tmp_path / "store"
+        result = (
+            Experiment.scenario("uniform")
+            .fix(duration_s=1.0, n_stations=3)
+            .seeds(1)
+            .fidelity("fast")
+            .run(store_dir=store, workers=1)
+        )
+        assert not result.campaign.failed
+        (cell,) = result.campaign.cells
+        assert "fidelity=fast" in cell.name
+        # Resuming the same grid answers from the store; the default-
+        # fidelity grid finds nothing (distinct keys) and re-simulates.
+        resumed = (
+            Experiment.scenario("uniform")
+            .fix(duration_s=1.0, n_stations=3)
+            .seeds(1)
+            .fidelity("fast")
+            .run(store_dir=store, workers=1)
+        )
+        assert not resumed.campaign.failed
+
+    def test_single_run_uses_fast_engine(self):
+        result = (
+            Experiment.scenario("uniform")
+            .fix(duration_s=1.0, n_stations=3)
+            .fidelity("fast")
+            .run()
+        )
+        (report,) = result.reports.values()
+        assert report.summary.n_frames > 0

@@ -157,7 +157,7 @@ class TestProfileFlag:
         )
         assert rc == 0
         out = capsys.readouterr().out
-        assert "cProfile: top 20 by cumulative time" in out
+        assert "cProfile [fidelity=default]: top 20 by cumulative time" in out
         assert "cumtime" in out
 
     def test_campaign_profile_forces_serial(self, capsys):
@@ -175,7 +175,7 @@ class TestProfileFlag:
         )
         assert rc == 0
         captured = capsys.readouterr()
-        assert "cProfile: top 20 by cumulative time" in captured.out
+        assert "cProfile [fidelity=default]: top 20 by cumulative time" in captured.out
         assert "forces --workers 1" in captured.err
 
 

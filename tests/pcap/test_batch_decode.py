@@ -1,0 +1,193 @@
+"""Vectorized pcap decode parity: byte-identical to the scalar codecs.
+
+:func:`repro.pcap.pcapio.read_trace_batches` bulk-decodes records with
+numpy gathers and falls back to the per-record scalar codecs for
+anything unusual.  The scalar path (:func:`_decode_record_scalar`) *is*
+the behavioural reference — this suite re-decodes every capture through
+a pure scalar loop and asserts the vectorized reader produces identical
+columns, identical batch boundaries, and identical errors (type,
+message, byte offset, clean-frame count) for every corruption mode that
+drops a record off the fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frames import TRACE_COLUMNS
+from repro.pcap import TruncatedPcapError, write_trace
+from repro.pcap.pcapio import (
+    _RowBuffer,
+    _decode_record_scalar,
+    _scan_records,
+    read_trace_batches,
+)
+from repro.sim import build_scenario
+
+
+@pytest.fixture(scope="module")
+def capture(tmp_path_factory):
+    """A realistic simulated capture (data/ACK/RTS/CTS/beacons/retries)
+    plus its per-record absolute offsets."""
+    built = build_scenario(
+        "uniform",
+        n_stations=4,
+        duration_s=2.0,
+        seed=7,
+        rtscts_fraction=0.5,
+    )
+    trace = built.run().ground_truth
+    path = tmp_path_factory.mktemp("parity") / "capture.pcap"
+    write_trace(trace, path)
+    raw = path.read_bytes()
+    rel_offs, consumed = _scan_records(raw[24:])
+    assert consumed == len(raw) - 24
+    return path, raw, [24 + off for off in rel_offs]
+
+
+def scalar_reference(path, batch_frames):
+    """Decode ``path`` record-by-record through the scalar codecs.
+
+    Mirrors the generator contract exactly: complete batches are
+    "yielded" as they fill, the clean remainder is flushed only before
+    a :class:`TruncatedPcapError` (any other error loses it — the
+    legacy behaviour), and the error itself is returned for comparison.
+    """
+    raw = path.read_bytes()[24:]
+    rel_offs, consumed = _scan_records(raw)
+    rows = _RowBuffer()
+    yielded = []
+    frames_read = 0
+    error = None
+    for off in rel_offs:
+        try:
+            rows.append_row(
+                _decode_record_scalar(raw, off, 24 + off, frames_read, path)
+            )
+        except Exception as exc:  # noqa: BLE001 - parity on any error
+            error = exc
+            break
+        frames_read += 1
+        if len(rows) >= batch_frames:
+            yielded.append(rows.take(batch_frames))
+    if error is None and consumed < len(raw):
+        leftover = len(raw) - consumed
+        kind = "header" if leftover < 16 else "body"
+        base = 24 + consumed + (0 if leftover < 16 else 16)
+        error = TruncatedPcapError(
+            f"{path}: truncated record {kind}",
+            byte_offset=base,
+            frames_read=frames_read,
+        )
+    if len(rows) and (
+        error is None or isinstance(error, TruncatedPcapError)
+    ):
+        yielded.append(rows.flush())
+    return yielded, error
+
+
+def vectorized(path, batch_frames):
+    batches = []
+    error = None
+    try:
+        for batch in read_trace_batches(path, batch_frames):
+            batches.append(batch)
+    except Exception as exc:  # noqa: BLE001 - parity on any error
+        error = exc
+    return batches, error
+
+
+def assert_parity(path, batch_frames=500):
+    reference, ref_error = scalar_reference(path, batch_frames)
+    batches, vec_error = vectorized(path, batch_frames)
+    assert (ref_error is None) == (vec_error is None)
+    if ref_error is not None:
+        assert type(vec_error).__name__ == type(ref_error).__name__
+        assert str(vec_error) == str(ref_error)
+        if isinstance(ref_error, TruncatedPcapError):
+            assert vec_error.byte_offset == ref_error.byte_offset
+            assert vec_error.frames_read == ref_error.frames_read
+    assert [len(b) for b in batches] == [len(b) for b in reference]
+    # Clean (non-final) batches honour the requested size exactly.
+    for batch in batches[:-1]:
+        assert len(batch) == batch_frames
+    for name in TRACE_COLUMNS:
+        for vec_batch, ref_batch in zip(batches, reference):
+            vec_col = vec_batch.column(name)
+            ref_col = ref_batch.column(name)
+            assert vec_col.dtype == ref_col.dtype, name
+            assert np.array_equal(vec_col, ref_col), name
+    return batches, vec_error
+
+
+class TestCleanCapture:
+    @pytest.mark.parametrize("batch_frames", [100_000, 1_000, 7])
+    def test_columns_byte_identical(self, capture, batch_frames):
+        path, _, _ = capture
+        batches, error = assert_parity(path, batch_frames)
+        assert error is None
+        assert sum(len(b) for b in batches) > 0
+
+
+class TestCorruptionFallsBackIdentically:
+    """Each mutation kicks records onto the scalar path (or stops the
+    scan); the observable behaviour must not change."""
+
+    def _mutated(self, tmp_path, raw, mutate):
+        data = bytearray(raw)
+        mutate(data)
+        path = tmp_path / "mutated.pcap"
+        path.write_bytes(bytes(data))
+        return path
+
+    def test_truncated_record_header(self, capture, tmp_path):
+        path, raw, offsets = capture
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(raw[: offsets[50] + 5])
+        _, error = assert_parity(cut)
+        assert isinstance(error, TruncatedPcapError)
+        assert "truncated record header" in str(error)
+
+    def test_truncated_record_body(self, capture, tmp_path):
+        path, raw, offsets = capture
+        cut = tmp_path / "cut.pcap"
+        cut.write_bytes(raw[: offsets[50] + 20])
+        _, error = assert_parity(cut)
+        assert isinstance(error, TruncatedPcapError)
+        assert "truncated record body" in str(error)
+
+    def test_bad_radiotap_version(self, capture, tmp_path):
+        path, raw, offsets = capture
+
+        def mutate(data):
+            data[offsets[30] + 16] = 9  # radiotap version byte
+
+        _, error = assert_parity(self._mutated(tmp_path, raw, mutate))
+        assert isinstance(error, TruncatedPcapError)
+        assert "undecodable record" in str(error)
+
+    def test_foreign_mac_prefix(self, capture, tmp_path):
+        path, raw, offsets = capture
+
+        def mutate(data):
+            data[offsets[40] + 16 + 24 + 4] = 0x55  # addr1 first byte
+
+        _, error = assert_parity(self._mutated(tmp_path, raw, mutate))
+        assert isinstance(error, TruncatedPcapError)
+
+    def test_non_dot11b_rate_raises_bare_valueerror(self, capture, tmp_path):
+        path, raw, offsets = capture
+
+        def mutate(data):
+            data[offsets[35] + 16 + 17] = 12  # 6 Mbps: not an 11b rate
+
+        _, error = assert_parity(self._mutated(tmp_path, raw, mutate))
+        assert type(error) is ValueError
+
+    def test_unknown_frame_type(self, capture, tmp_path):
+        path, raw, offsets = capture
+
+        def mutate(data):
+            data[offsets[45] + 16 + 24] = (1 << 2) | (0 << 4)  # ctrl/0
+
+        _, error = assert_parity(self._mutated(tmp_path, raw, mutate))
+        assert isinstance(error, TruncatedPcapError)

@@ -184,3 +184,40 @@ class TestTimingFidelity:
         spans.sort()
         for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
             assert s2 >= e1  # no overlap between data frames
+
+
+class TestBackoffBatching:
+    """Batched backoff draws must be stream-identical to scalar draws."""
+
+    def _observed_and_reference(self, seed, bounds):
+        """Draw through the MAC (batched) and a fresh RNG (scalar)."""
+        _, _, a, _ = _pair(seed=seed)
+        observed = []
+        for bound in bounds:
+            a._cw = bound - 1
+            a._draw_backoff()
+            observed.append(a._backoff_slots)
+        reference_rng = np.random.default_rng(seed + 1)  # _pair wires seed+1
+        reference = [int(reference_rng.integers(0, b)) for b in bounds]
+        return observed, reference
+
+    def test_constant_window_matches_scalar_stream(self):
+        bounds = [32] * 100
+        observed, reference = self._observed_and_reference(3, bounds)
+        assert observed == reference
+
+    def test_window_changes_mid_batch_match_scalar_stream(self):
+        # Collisions double cw (forcing a rewind-and-replay of the
+        # speculative batch) and successes reset it; the observed draws
+        # must still equal a pure scalar draw-per-call sequence.
+        bounds = (
+            [32] * 5 + [64] * 3 + [128] * 2 + [32] * 40 + [64] * 1 + [32] * 20
+        )
+        observed, reference = self._observed_and_reference(9, bounds)
+        assert observed == reference
+
+    def test_draws_stay_within_window(self):
+        _, _, a, _ = _pair(seed=5)
+        for _ in range(200):
+            a._draw_backoff()
+            assert 0 <= a._backoff_slots <= a._cw

@@ -259,3 +259,79 @@ class TestTombstoneCompaction:
         assert sim.events_processed > 0
         # Post-run invariant: tombstones never dominate what is left.
         assert sim._tombstones * 2 <= len(sim._heap) + 64
+
+
+class TestTimeoutHeap:
+    """The ACK/CTS-timeout side heap: same ordering, isolated churn."""
+
+    def test_interleaves_with_main_heap_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(30, lambda: fired.append("main-30"))
+        sim.schedule_timeout_in(10, lambda: fired.append("timeout-10"))
+        sim.schedule_at(20, lambda: fired.append("main-20"))
+        sim.schedule_timeout_in(40, lambda: fired.append("timeout-40"))
+        sim.run_until(100)
+        assert fired == ["timeout-10", "main-20", "main-30", "timeout-40"]
+
+    def test_ties_fire_in_scheduling_order_across_heaps(self):
+        # The side heap shares the (time, sequence) counter, so a tie
+        # between heaps resolves by scheduling order — exactly as the
+        # single-heap engine would have fired them.
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5, lambda: fired.append("a"))
+        sim.schedule_timeout_in(5, lambda: fired.append("b"))
+        sim.schedule_at(5, lambda: fired.append("c"))
+        sim.run_until(10)
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_timeout_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_timeout_in(10, lambda: fired.append("t"))
+        handle.cancel()
+        sim.run_until(100)
+        assert fired == []
+        assert sim.events_cancelled == 1
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="non-negative"):
+            sim.schedule_timeout_in(-1, lambda: None)
+
+    def test_events_pending_spans_both_heaps(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)
+        handle = sim.schedule_timeout_in(20, lambda: None)
+        assert sim.events_pending == 2
+        handle.cancel()
+        assert sim.events_pending == 1
+
+    def test_timeout_compaction_is_independent(self):
+        # Cancel-heavy timeout traffic compacts the side heap without
+        # touching (or being blocked by) the main heap's bookkeeping.
+        sim = Simulator()
+        sim.schedule_at(1_000_000, lambda: None)  # long-lived main event
+        handles = [
+            sim.schedule_timeout_in(500_000 + i, lambda: None)
+            for i in range(200)
+        ]
+        for handle in handles:
+            handle.cancel()
+        # Compaction bounds residual tombstones to the floor below
+        # which rebuilds are not worth it.
+        assert sim._timeout_tombstones * 2 <= len(sim._timeout_heap) + 64
+        assert sim.events_pending == 1
+        sim.run_until(2_000_000)
+        assert sim.events_processed == 1
+
+    def test_run_until_horizon_respects_side_heap(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_timeout_in(50, lambda: fired.append("late"))
+        sim.schedule_at(10, lambda: fired.append("early"))
+        sim.run_until(20)
+        assert fired == ["early"]
+        sim.run_until(100)
+        assert fired == ["early", "late"]

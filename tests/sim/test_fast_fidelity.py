@@ -1,0 +1,212 @@
+"""Statistical-equivalence contract for the ``fidelity="fast"`` engine.
+
+The fast engine (:mod:`repro.sim.fastpath`) is *not* pinned by the
+golden-trace digests — it is a columnar batch-stepped model of the same
+network, so its per-frame stream differs from the discrete-event
+engine's.  What it must preserve are the headline congestion metrics
+the paper reasons about: delivery ratio and channel busy-time fraction.
+
+This suite runs both engines over the same grid (``uniform`` at
+n ∈ {3, 10}, three seeds, 8 simulated seconds, SNR rate adaptation)
+and asserts:
+
+* every cell's delivery-ratio gap is within the documented model
+  tolerance (``DELIVERY_CELL_TOL``),
+* the bootstrap 95% CI of the mean delivery-ratio gap lies inside
+  ``±DELIVERY_MEAN_TOL``,
+* the mean busy-time gap per grid size is within ``CBT_MEAN_TOL``.
+
+Everything is seeded, so the suite is deterministic: a calibration
+regression in the fast engine fails it reproducibly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.frames.dot11 import RATE_CODES
+from repro.sim import FIDELITY_MODES, FastBuiltScenario, build_scenario
+
+SEEDS = (7, 21, 42)
+GRID_SIZES = (3, 10)
+DURATION_S = 8.0
+
+#: Per-cell absolute delivery-ratio tolerance (documented model gap —
+#: the batch-stepped engine resolves contention statistically, not
+#: per-slot, so individual seeds can diverge by a few percent).
+DELIVERY_CELL_TOL = 0.12
+
+#: The bootstrap CI of the mean gap must sit inside this band.
+DELIVERY_MEAN_TOL = 0.10
+
+#: Mean channel busy-time (offered airtime / duration) gap per grid size.
+CBT_MEAN_TOL = 0.20
+
+_CODE_TO_RATE = {code: rate for rate, code in RATE_CODES.items()}
+
+
+def _cbt_fraction(trace, duration_s: float) -> float:
+    """Offered-airtime fraction of the ground truth (the CBT proxy).
+
+    192 us of preamble+PLCP per frame plus payload serialization at the
+    frame's rate — the same accounting both engines use for airtime.
+    """
+    rate_code = trace.column("rate_code")
+    size = trace.column("size").astype(np.float64)
+    rate = np.zeros(len(rate_code), dtype=np.float64)
+    for code, mbps in _CODE_TO_RATE.items():
+        rate[rate_code == code] = mbps
+    air_us = 192.0 + size * 8.0 / rate
+    return float(air_us.sum() / (duration_s * 1e6))
+
+
+def _run_cell(n_stations: int, seed: int, fidelity: str):
+    built = build_scenario(
+        "uniform",
+        n_stations=n_stations,
+        duration_s=DURATION_S,
+        seed=seed,
+        rate_algorithm="snr",
+        fidelity=fidelity,
+    )
+    result = built.run()
+    return built.delivery_ratio, _cbt_fraction(result.ground_truth, DURATION_S)
+
+
+@pytest.fixture(scope="module")
+def grid_metrics():
+    """(delivery, cbt) per (n, seed) for both engines, computed once."""
+    out = {}
+    for fidelity in ("default", "fast"):
+        for n in GRID_SIZES:
+            for seed in SEEDS:
+                out[(fidelity, n, seed)] = _run_cell(n, seed, fidelity)
+    return out
+
+
+class TestStatisticalEquivalence:
+    def test_delivery_ratio_per_cell(self, grid_metrics):
+        for n in GRID_SIZES:
+            for seed in SEEDS:
+                default, _ = grid_metrics[("default", n, seed)]
+                fast, _ = grid_metrics[("fast", n, seed)]
+                assert abs(fast - default) <= DELIVERY_CELL_TOL, (
+                    f"n={n} seed={seed}: fast {fast:.3f} vs "
+                    f"default {default:.3f}"
+                )
+
+    def test_delivery_ratio_bootstrap_ci(self, grid_metrics):
+        gaps = np.array(
+            [
+                grid_metrics[("fast", n, seed)][0]
+                - grid_metrics[("default", n, seed)][0]
+                for n in GRID_SIZES
+                for seed in SEEDS
+            ]
+        )
+        rng = np.random.default_rng(0)
+        resamples = rng.integers(0, len(gaps), size=(2000, len(gaps)))
+        means = gaps[resamples].mean(axis=1)
+        lo, hi = np.percentile(means, [2.5, 97.5])
+        assert -DELIVERY_MEAN_TOL <= lo and hi <= DELIVERY_MEAN_TOL, (
+            f"bootstrap CI of mean delivery gap [{lo:.3f}, {hi:.3f}] "
+            f"outside ±{DELIVERY_MEAN_TOL}"
+        )
+
+    def test_busy_time_mean_per_grid_size(self, grid_metrics):
+        for n in GRID_SIZES:
+            default = np.mean(
+                [grid_metrics[("default", n, s)][1] for s in SEEDS]
+            )
+            fast = np.mean([grid_metrics[("fast", n, s)][1] for s in SEEDS])
+            assert abs(fast - default) <= CBT_MEAN_TOL, (
+                f"n={n}: mean CBT fast {fast:.3f} vs default {default:.3f}"
+            )
+
+    def test_congestion_trend_preserved(self, grid_metrics):
+        """More stations → lower delivery, busier channel (both engines)."""
+        for fidelity in ("default", "fast"):
+            small = np.mean(
+                [grid_metrics[(fidelity, 3, s)][0] for s in SEEDS]
+            )
+            large = np.mean(
+                [grid_metrics[(fidelity, 10, s)][0] for s in SEEDS]
+            )
+            assert large < small
+            small_cbt = np.mean(
+                [grid_metrics[(fidelity, 3, s)][1] for s in SEEDS]
+            )
+            large_cbt = np.mean(
+                [grid_metrics[(fidelity, 10, s)][1] for s in SEEDS]
+            )
+            assert large_cbt > small_cbt
+
+
+class TestFastEngineSurface:
+    def test_fidelity_modes_and_build_routing(self):
+        assert set(FIDELITY_MODES) == {"default", "fast"}
+        fast = build_scenario(
+            "uniform", n_stations=3, duration_s=1.0, seed=7, fidelity="fast"
+        )
+        assert isinstance(fast, FastBuiltScenario)
+        assert fast.fidelity == "fast"
+        default = build_scenario(
+            "uniform", n_stations=3, duration_s=1.0, seed=7
+        )
+        assert not isinstance(default, FastBuiltScenario)
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity"):
+            build_scenario("uniform", n_stations=3, fidelity="fastest")
+
+    def test_fast_run_is_deterministic(self):
+        def run():
+            built = build_scenario(
+                "uniform",
+                n_stations=4,
+                duration_s=2.0,
+                seed=11,
+                fidelity="fast",
+            )
+            result = built.run()
+            return built.delivery_ratio, built.frames_transmitted, result
+
+        d1, f1, r1 = run()
+        d2, f2, r2 = run()
+        assert d1 == d2
+        assert f1 == f2
+        assert len(r1.trace) == len(r2.trace)
+        assert np.array_equal(
+            r1.trace.column("time_us"), r2.trace.column("time_us")
+        )
+
+    def test_stream_matches_buffered_run(self):
+        built_a = build_scenario(
+            "uniform", n_stations=4, duration_s=2.0, seed=11, fidelity="fast"
+        )
+        buffered = built_a.run().trace
+        built_b = build_scenario(
+            "uniform", n_stations=4, duration_s=2.0, seed=11, fidelity="fast"
+        )
+        chunks = list(built_b.stream(chunk_frames=256))
+        assert all(len(c) <= 256 for c in chunks)
+        streamed = np.concatenate([c.column("time_us") for c in chunks])
+        assert np.array_equal(streamed, buffered.column("time_us"))
+
+    def test_single_consumption_enforced(self):
+        built = build_scenario(
+            "uniform", n_stations=3, duration_s=1.0, seed=7, fidelity="fast"
+        )
+        built.run()
+        with pytest.raises(RuntimeError, match="already run"):
+            built.run()
+
+    def test_perf_counters_report_batch_stepping(self):
+        built = build_scenario(
+            "uniform", n_stations=3, duration_s=2.0, seed=7, fidelity="fast"
+        )
+        built.run()
+        counters = built.perf_counters
+        assert counters["slot_epochs"] > 0
+        # The event loop is bypassed entirely: work is batch-stepped,
+        # not discrete events.
+        assert built.sim.events_processed == 0
