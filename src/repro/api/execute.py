@@ -165,6 +165,8 @@ def _execute_campaign(spec: ExperimentSpec) -> ExperimentResult:
         store_dir=spec.store,
         resume=spec.resume,
         retry_failed=spec.retry_failed,
+        timeout_s=spec.timeout_s,
+        dispatch=spec.dispatch or "local",
     )
     reports = {}
     if spec.keep_reports:

@@ -172,6 +172,18 @@ class Experiment:
         """Attach each campaign cell's full report to the result."""
         return self._replace(keep_reports=keep)
 
+    def timeout(self, timeout_s: float) -> "Experiment":
+        """Per-cell wall-clock budget: a cell still running at the
+        deadline is captured as ``FailedCell(type="Timeout")`` instead
+        of stalling its worker."""
+        return self._replace(timeout_s=timeout_s)
+
+    def dispatch(self, mode: str) -> "Experiment":
+        """Campaign dispatch backend: ``"local"`` (one process pool) or
+        ``"distributed"`` (fault-tolerant coordinator + worker
+        subprocesses — see :mod:`repro.campaign.dispatch`)."""
+        return self._replace(dispatch=mode)
+
     # -- introspection -----------------------------------------------------
 
     def spec(self) -> ExperimentSpec:
@@ -200,6 +212,8 @@ class Experiment:
         retry_failed: bool | None = None,
         chunk_frames: int | None = None,
         keep_reports: bool | None = None,
+        timeout_s: float | None = None,
+        dispatch: str | None = None,
         keep_trace: bool = False,
     ) -> ExperimentResult:
         """Execute the experiment and return an :class:`ExperimentResult`.
@@ -219,6 +233,8 @@ class Experiment:
             retry_failed=retry_failed,
             chunk_frames=chunk_frames,
             keep_reports=keep_reports,
+            timeout_s=timeout_s,
+            dispatch=dispatch,
         )
         return execute(spec, keep_trace=keep_trace)
 

@@ -29,8 +29,8 @@ A spec file is at most four tables::
 fixes scenario parameters for every cell, ``[vary]`` declares sweep
 axes, ``seeds`` multiplies the grid, and ``[run]`` holds execution
 options (workers, chunk_frames, store, resume, retry_failed,
-keep_reports).  Unknown keys anywhere fail with a "did you mean ...?"
-error before anything runs.
+keep_reports, timeout_s, dispatch).  Unknown keys anywhere fail with a
+"did you mean ...?" error before anything runs.
 
 >>> spec = ExperimentSpec.from_toml(
 ...     'scenario = "ramp"\\nseeds = 2\\n[vary]\\nn_stations = [10, 20]\\n'
@@ -80,6 +80,8 @@ _RUN_KEYS = (
     "resume",
     "retry_failed",
     "keep_reports",
+    "timeout_s",
+    "dispatch",
 )
 
 
@@ -111,6 +113,8 @@ class ExperimentSpec:
     resume: bool = True
     retry_failed: bool = False
     keep_reports: bool = False
+    timeout_s: float | None = None
+    dispatch: str | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -218,6 +222,8 @@ class ExperimentSpec:
             resume=run_opt("resume", bool, "a boolean", True),
             retry_failed=run_opt("retry_failed", bool, "a boolean", False),
             keep_reports=run_opt("keep_reports", bool, "a boolean", False),
+            timeout_s=run_opt("timeout_s", (int, float), "a number of seconds"),
+            dispatch=run_opt("dispatch", str, "a dispatch mode string"),
         )
 
     @classmethod
@@ -292,6 +298,10 @@ class ExperimentSpec:
             run["retry_failed"] = self.retry_failed
         if self.keep_reports:
             run["keep_reports"] = self.keep_reports
+        if self.timeout_s is not None:
+            run["timeout_s"] = self.timeout_s
+        if self.dispatch is not None:
+            run["dispatch"] = self.dispatch
         if run:
             out["run"] = run
         return out
@@ -389,6 +399,27 @@ class ExperimentSpec:
             raise SpecError("run option 'workers' must be >= 1")
         if self.chunk_frames is not None and self.chunk_frames < 1:
             raise SpecError("run option 'chunk_frames' must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SpecError("run option 'timeout_s' must be > 0")
+        if self.dispatch is not None:
+            from ..campaign.runner import DISPATCH_MODES
+
+            if self.dispatch not in DISPATCH_MODES:
+                raise SpecError(
+                    unknown_name_message(
+                        "dispatch mode", self.dispatch, DISPATCH_MODES
+                    )
+                )
+            if self.dispatch == "distributed" and self.mode != "campaign":
+                raise SpecError(
+                    "run option 'dispatch = \"distributed\"' needs a "
+                    "campaign — add 'seeds' or a [vary] axis"
+                )
+            if self.dispatch == "distributed" and self.keep_reports:
+                raise SpecError(
+                    "'keep_reports' is incompatible with distributed "
+                    "dispatch (full reports do not travel the wire)"
+                )
         if self.store is not None and self.mode != "campaign":
             raise SpecError(
                 "run option 'store' needs a campaign — add 'seeds' or a "

@@ -30,11 +30,22 @@ the run.
 
 CLI equivalent: ``python -m repro.tools campaign --scenario ramp
 --vary n_stations=10,20,40,60 --seeds 2 --workers 4``.
+
+Beyond one process pool, ``run_campaign(dispatch="distributed")`` (or a
+hand-run ``repro campaign-coordinator`` plus ``repro campaign-worker``
+processes) executes the same grid through a fault-tolerant lease-based
+protocol (:mod:`repro.campaign.dispatch`): workers lease cell batches
+over a socket, write results into per-worker store shards, and dead or
+stalled workers are survived via lease reclaim, bounded retries and a
+loss-free shard merge (:mod:`repro.campaign.merge`).
 """
 
+from .dispatch import Coordinator, DispatchError, run_distributed_campaign
 from .grid import CampaignCell, ParameterGrid
+from .merge import MergeConflictError, MergeReport, merge_shards, shard_roots
 from .runner import CampaignResult, CellResult, run_campaign
 from .store import CampaignStore, FailedCell, StoreStatus, cell_key, code_version_salt
+from .worker import run_worker
 from .summary import (
     campaign_table,
     delivery_curve,
@@ -49,7 +60,11 @@ __all__ = [
     "CampaignResult",
     "CampaignStore",
     "CellResult",
+    "Coordinator",
+    "DispatchError",
     "FailedCell",
+    "MergeConflictError",
+    "MergeReport",
     "ParameterGrid",
     "StoreStatus",
     "campaign_table",
@@ -58,7 +73,11 @@ __all__ = [
     "delivery_curve",
     "group_over_seeds",
     "load_knee",
+    "merge_shards",
     "render_campaign",
     "run_campaign",
+    "run_distributed_campaign",
+    "run_worker",
+    "shard_roots",
     "utilization_knee",
 ]

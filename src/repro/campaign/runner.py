@@ -25,9 +25,12 @@ the store first and dispatches only the cells it is missing.
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 import traceback as traceback_module
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -37,7 +40,10 @@ from .store import CampaignStore, FailedCell
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.report import CongestionReport
 
-__all__ = ["CellResult", "CampaignResult", "run_campaign"]
+__all__ = ["CellResult", "CampaignResult", "Timeout", "run_campaign"]
+
+#: Dispatch backends ``run_campaign`` routes between.
+DISPATCH_MODES = ("local", "distributed")
 
 
 #: Streaming defaults for campaign cells: small enough that worker
@@ -48,6 +54,46 @@ CELL_CHUNK_FRAMES = 65_536
 def _safe_ratio(numerator: float, denominator: float) -> float:
     """0.0 instead of ZeroDivisionError for degenerate (empty) cells."""
     return numerator / denominator if denominator else 0.0
+
+
+class Timeout(Exception):
+    """A cell exceeded ``run_campaign(timeout_s=...)`` and was aborted.
+
+    Named so the :class:`FailedCell` record reads ``type="Timeout"``.
+    """
+
+
+@contextmanager
+def _cell_deadline(timeout_s: float | None):
+    """Abort the enclosed cell with :class:`Timeout` after ``timeout_s``.
+
+    Uses ``SIGALRM``/``setitimer``, which interrupts arbitrary Python —
+    including a simulation stuck in a pathological event loop — so a
+    hung cell becomes a captured ``FailedCell(type="Timeout")`` instead
+    of stalling its pool slot (or a distributed worker) forever.  Only
+    armable from a process's main thread (a POSIX signal constraint);
+    elsewhere the cell runs unbounded, which matches the pre-timeout
+    behaviour.  Pool workers and campaign workers run cells on their
+    main thread, so the guard holds exactly where it matters.
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise Timeout(f"cell exceeded timeout_s={timeout_s:g}")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
@@ -133,6 +179,9 @@ class CampaignResult:
     store_hits: int = 0
     dispatched: int = 0
     store_dir: str | None = None
+    #: Corrupt store records quarantined (renamed ``*.corrupt``) while
+    #: this campaign consulted its store — nonzero means disk trouble.
+    quarantined: int = 0
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -167,7 +216,8 @@ def _run_cell(job) -> tuple[str, object]:
     cell, options = job
     start = time.perf_counter()
     try:
-        return ("ok", _simulate_cell(cell, options, start))
+        with _cell_deadline(options.get("timeout_s")):
+            return ("ok", _simulate_cell(cell, options, start))
     except Exception as error:
         return (
             "fail",
@@ -226,6 +276,20 @@ def _simulate_cell(cell: CampaignCell, options: dict, start: float) -> CellResul
     )
 
 
+def _expand_cells(
+    grid: ParameterGrid | Sequence[CampaignCell],
+) -> list[CampaignCell]:
+    """Grid → cell list with the shared sanity checks (shape only)."""
+    cells = grid.cells() if isinstance(grid, ParameterGrid) else list(grid)
+    if not cells:
+        raise ValueError("campaign has no cells")
+    names = [cell.name for cell in cells]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate campaign cells: {dupes}")
+    return cells
+
+
 def run_campaign(
     grid: ParameterGrid | Sequence[CampaignCell],
     *,
@@ -236,6 +300,8 @@ def run_campaign(
     store_dir: str | os.PathLike | None = None,
     resume: bool = True,
     retry_failed: bool = False,
+    timeout_s: float | None = None,
+    dispatch: str = "local",
 ) -> CampaignResult:
     """Run every cell of ``grid`` and collect per-cell findings.
 
@@ -259,20 +325,46 @@ def run_campaign(
     A cell that raises never aborts the campaign: it is captured as a
     :class:`FailedCell` (config + traceback) in ``result.failed`` and —
     when a store is attached — persisted alongside the results.
+
+    ``timeout_s`` bounds each cell's wall-clock: a cell still running
+    at the deadline is aborted and captured as a
+    ``FailedCell(type="Timeout")`` instead of stalling its pool slot.
+
+    ``dispatch="distributed"`` routes the same grid through the
+    fault-tolerant coordinator/worker protocol
+    (:func:`repro.campaign.dispatch.run_distributed_campaign`): worker
+    *subprocesses* lease cell batches over a socket, results land in
+    per-worker store shards merged losslessly into ``store_dir``, and
+    dead workers are survived via lease reclaim + bounded retries.
     """
-    cells = grid.cells() if isinstance(grid, ParameterGrid) else list(grid)
-    if not cells:
-        raise ValueError("campaign has no cells")
-    names = [cell.name for cell in cells]
-    if len(set(names)) != len(names):
-        dupes = sorted({n for n in names if names.count(n) > 1})
-        raise ValueError(f"duplicate campaign cells: {dupes}")
+    if dispatch not in DISPATCH_MODES:
+        from .._suggest import unknown_name_message
+
+        raise ValueError(
+            unknown_name_message("dispatch mode", dispatch, DISPATCH_MODES)
+        )
+    if dispatch == "distributed":
+        from .dispatch import run_distributed_campaign
+
+        return run_distributed_campaign(
+            grid,
+            workers=workers,
+            chunk_frames=chunk_frames,
+            window_s=window_s,
+            keep_reports=keep_reports,
+            store_dir=store_dir,
+            resume=resume,
+            retry_failed=retry_failed,
+            timeout_s=timeout_s,
+        )
+    cells = _expand_cells(grid)
 
     store = CampaignStore(store_dir) if store_dir is not None else None
     options = {
         "chunk_frames": chunk_frames,
         "window_s": window_s,
         "keep_reports": keep_reports,
+        "timeout_s": timeout_s,
     }
 
     start = time.perf_counter()
@@ -369,4 +461,5 @@ def run_campaign(
         store_hits=store_hits,
         dispatched=len(to_run),
         store_dir=os.fspath(store_dir) if store_dir is not None else None,
+        quarantined=store.quarantined if store is not None else 0,
     )

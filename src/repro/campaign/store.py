@@ -20,6 +20,12 @@ the missing work.  The :class:`CampaignStore` provides that guarantee:
   :class:`FailedCell` (exception type, message, traceback) in a
   ``.fail.json`` sidecar; the campaign completes, reports the failure,
   and a ``--retry-failed`` pass re-runs exactly those cells.
+* **Corruption quarantine.**  A record that no longer parses (disk
+  fault, torn copy) is never silently trusted *or* silently discarded:
+  it is renamed to ``<key>.json.corrupt`` next to where it lay, counted
+  in :attr:`CampaignStore.quarantined`, and the cell recomputes as a
+  plain miss.  Campaign summaries and ``campaign-status`` surface the
+  count so corruption is investigated, not papered over.
 
 The code-version salt defaults to a hash of every ``.py`` file in the
 installed ``repro`` package, so results never outlive the code that
@@ -279,6 +285,8 @@ class CampaignStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.salt = salt if salt is not None else code_version_salt()
+        #: Corrupt records renamed to ``*.corrupt`` by this instance.
+        self.quarantined = 0
         self._write_meta()
 
     def _write_meta(self) -> None:
@@ -329,16 +337,48 @@ class CampaignStore:
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, OSError):
-            # A corrupt/truncated record is treated as absent: the cell
-            # is simply recomputed (and the record rewritten) on resume.
             return None
+
+    def _read_record(self, path: Path) -> dict | None:
+        """Read a cell record; quarantine it if it no longer parses.
+
+        A record that exists but cannot be decoded is evidence of a
+        disk/copy fault.  Swallowing it as a plain miss would silently
+        recompute the cell *and destroy the evidence* on the rewrite —
+        so the broken file is renamed to ``<name>.corrupt`` (out of the
+        store's key space, preserved for inspection), counted in
+        :attr:`quarantined`, and only then treated as a miss.
+        """
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            # Unreadable *and* unrenamable (e.g. permissions): nothing
+            # more can be done here; the cell still recomputes.
+            return
+        self.quarantined += 1
 
     # -- writing ----------------------------------------------------------
 
-    def put(self, result: "CellResult", *, key: str | None = None) -> Path:
-        """Persist a finished cell atomically; clears any failure record."""
-        key = key or self.key_for(result.cell)
-        payload = {
+    def result_payload(self, result: "CellResult", key: str) -> dict:
+        """The on-disk JSON record for a finished cell (pure).
+
+        Factored out of :meth:`put` because the distributed dispatch
+        protocol ships exactly this dict over the wire: the bytes a
+        worker writes into its shard are the bytes the coordinator
+        writes into the main store, which is what makes the final shard
+        merge a checkable no-op.
+        """
+        return {
             "format": STORE_FORMAT,
             "kind": "result",
             "key": key,
@@ -347,6 +387,52 @@ class CampaignStore:
             "result": {f: getattr(result, f) for f in _RESULT_FIELDS},
             "has_report": result.report is not None,
         }
+
+    def failure_payload(self, failed: FailedCell, key: str) -> dict:
+        """The on-disk JSON record for a failed cell (pure)."""
+        return {
+            "format": STORE_FORMAT,
+            "kind": "failure",
+            "key": key,
+            "salt": self.salt,
+            "cell": _cell_payload(failed.cell),
+            "error": {
+                "type": failed.error_type,
+                "message": failed.error,
+                "traceback": failed.traceback,
+            },
+            "elapsed_s": failed.elapsed_s,
+        }
+
+    def put_record(self, payload: Mapping) -> Path:
+        """Persist a raw record dict (e.g. one received over the wire).
+
+        Routes by ``kind``: a result clears any failure record for its
+        key; a failure never overwrites an existing result (a completed
+        cell outranks any later report of trouble).
+        """
+        kind = payload.get("kind")
+        key = payload.get("key")
+        if kind not in ("result", "failure") or not isinstance(key, str) or not key:
+            raise ValueError(f"not a store record: kind={kind!r} key={key!r}")
+        if kind == "result":
+            path = self.result_path(key)
+            self._atomic_write_json(path, dict(payload))
+            try:
+                self.failure_path(key).unlink()
+            except OSError:
+                pass
+            return path
+        path = self.failure_path(key)
+        if self.result_path(key).exists():
+            return path
+        self._atomic_write_json(path, dict(payload))
+        return path
+
+    def put(self, result: "CellResult", *, key: str | None = None) -> Path:
+        """Persist a finished cell atomically; clears any failure record."""
+        key = key or self.key_for(result.cell)
+        payload = self.result_payload(result, key)
         if result.report is not None:
             report_path = self.report_path(key)
             report_path.parent.mkdir(parents=True, exist_ok=True)
@@ -376,21 +462,8 @@ class CampaignStore:
     def put_failure(self, failed: FailedCell, *, key: str | None = None) -> Path:
         """Persist a failure record (never overwrites a success)."""
         key = key or self.key_for(failed.cell)
-        payload = {
-            "format": STORE_FORMAT,
-            "kind": "failure",
-            "key": key,
-            "salt": self.salt,
-            "cell": _cell_payload(failed.cell),
-            "error": {
-                "type": failed.error_type,
-                "message": failed.error,
-                "traceback": failed.traceback,
-            },
-            "elapsed_s": failed.elapsed_s,
-        }
         path = self.failure_path(key)
-        self._atomic_write_json(path, payload)
+        self._atomic_write_json(path, self.failure_payload(failed, key))
         return path
 
     # -- reading ----------------------------------------------------------
@@ -411,7 +484,7 @@ class CampaignStore:
         from .runner import CellResult
 
         key = key or self.key_for(cell)
-        payload = self._read_json(self.result_path(key))
+        payload = self._read_record(self.result_path(key))
         if payload is None or payload.get("kind") != "result":
             return None
         numbers = payload.get("result", {})
@@ -443,7 +516,7 @@ class CampaignStore:
     ) -> FailedCell | None:
         """Stored failure record for ``cell``, or ``None``."""
         key = key or self.key_for(cell)
-        payload = self._read_json(self.failure_path(key))
+        payload = self._read_record(self.failure_path(key))
         if payload is None or payload.get("kind") != "failure":
             return None
         error = payload.get("error", {})
@@ -477,9 +550,14 @@ class CampaignStore:
     # -- inventory --------------------------------------------------------
 
     def records(self) -> Iterator[dict]:
-        """Every readable record in the store (results and failures)."""
+        """Every readable record in the store (results and failures).
+
+        Corrupt record files encountered during the walk are quarantined
+        (renamed ``*.corrupt``, counted in :attr:`quarantined`) rather
+        than silently skipped.
+        """
         for path in sorted(self.root.glob("*/*.json")):
-            payload = self._read_json(path)
+            payload = self._read_record(path)
             if payload is not None and payload.get("kind") in (
                 "result",
                 "failure",
@@ -490,13 +568,20 @@ class CampaignStore:
         return sum(1 for r in self.records() if r["kind"] == "result")
 
     def status(self, cells: Sequence[CampaignCell]) -> StoreStatus:
-        """Partition ``cells`` into done / pending / failed for this store."""
+        """Partition ``cells`` into done / pending / failed for this store.
+
+        A "done" cell must actually *parse*, not merely exist: a corrupt
+        record is quarantined here and its cell reported pending, so the
+        status a coordinator plans against never counts unreadable work
+        as finished.
+        """
         done: list[CampaignCell] = []
         pending: list[CampaignCell] = []
         failed: list[FailedCell] = []
         for cell in cells:
             key = self.key_for(cell)
-            if self.result_path(key).exists():
+            record = self._read_record(self.result_path(key))
+            if record is not None and record.get("kind") == "result":
                 done.append(cell)
                 continue
             failure = self.get_failure(cell, key=key)

@@ -152,6 +152,8 @@ def render_campaign(result: CampaignResult, title: str = "Campaign") -> str:
             f" ({result.store_hits} from store, {result.dispatched} run, "
             f"{len(result.failed)} failed)"
         )
+    if result.quarantined:
+        header += f" [{result.quarantined} corrupt record(s) quarantined]"
     header += f", {result.workers} worker(s), {result.elapsed_s:.1f}s wall"
     lines = [
         header,

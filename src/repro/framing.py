@@ -1,0 +1,123 @@
+"""Length-prefixed wire framing shared by every repro socket protocol.
+
+One frame on the wire is::
+
+    [4-byte magic][4-byte big-endian payload length][payload]
+
+The serve daemon's frame-batch ingest (:mod:`repro.serve.protocol`,
+magic ``RPF1``) and the distributed-campaign dispatch protocol
+(:mod:`repro.campaign.dispatch`, magic ``RPJ1``) both ride this
+framing; each protocol picks its own magic and payload cap so a client
+speaking the wrong protocol — or a corrupt length prefix — fails loudly
+at the header instead of decoding shifted garbage or allocating
+unbounded memory.
+
+This module is transport-agnostic: :func:`encode_frame` and
+:func:`header_length` are pure bytes-in/bytes-out (the asyncio serve
+path uses them with ``StreamReader.readexactly``), while
+:func:`send_frame` / :func:`recv_frame` are helpers for plain blocking
+``socket`` objects (the campaign dispatch protocol is synchronous).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+__all__ = [
+    "HEADER_BYTES",
+    "FrameError",
+    "encode_frame",
+    "header_length",
+    "send_frame",
+    "recv_frame",
+]
+
+#: Bytes of framing ahead of every payload: 4 magic + 4 length.
+HEADER_BYTES = 8
+
+
+class FrameError(ValueError):
+    """A frame that cannot be parsed (bad magic or a silly length)."""
+
+
+def encode_frame(payload: bytes, magic: bytes) -> bytes:
+    """Wrap ``payload`` in magic + big-endian length framing."""
+    if len(magic) != 4:
+        raise ValueError(f"frame magic must be 4 bytes, got {magic!r}")
+    return magic + struct.pack(">I", len(payload)) + payload
+
+
+def header_length(
+    header: bytes,
+    *,
+    magic: bytes,
+    max_bytes: int,
+    error: type[FrameError] = FrameError,
+) -> int:
+    """Validate an 8-byte frame header and return the payload length.
+
+    ``error`` lets a protocol raise its own :class:`FrameError`
+    subclass (e.g. the serve layer's ``FrameBatchError``) so existing
+    ``except`` clauses keep working.
+    """
+    if len(header) != HEADER_BYTES:
+        raise error(
+            f"frame header must be {HEADER_BYTES} bytes, got {len(header)}"
+        )
+    if header[:4] != magic:
+        raise error(f"bad frame magic {header[:4]!r} (expected {magic!r})")
+    (length,) = struct.unpack(">I", header[4:])
+    if length > max_bytes:
+        raise error(f"frame length {length} exceeds cap {max_bytes}")
+    return length
+
+
+# -- blocking-socket helpers ----------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at byte zero.
+
+    EOF *inside* a frame is a dropped connection, not a clean close, so
+    it raises :class:`ConnectionResetError` — the caller must never see
+    a short frame as a complete one.
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n:
+                return None
+            raise ConnectionResetError(
+                f"connection dropped mid-frame ({n - remaining}/{n} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: bytes, magic: bytes) -> None:
+    """Send one complete frame on a blocking socket."""
+    sock.sendall(encode_frame(payload, magic))
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    magic: bytes,
+    max_bytes: int,
+    error: type[FrameError] = FrameError,
+) -> bytes | None:
+    """Receive one frame's payload; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, HEADER_BYTES)
+    if header is None:
+        return None
+    length = header_length(header, magic=magic, max_bytes=max_bytes, error=error)
+    if length == 0:
+        return b""
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionResetError("connection dropped before frame payload")
+    return payload

@@ -13,6 +13,10 @@ magic, wrong payload size for the advertised row count, oversized
 batch — raises :class:`FrameBatchError`; the serve layer turns that
 into a failed feed without taking the daemon down.
 
+The magic + length framing itself is the shared :mod:`repro.framing`
+layer (the campaign dispatch protocol rides the same envelope under a
+different magic); this module owns only the batch payload layout.
+
 The payload layout is::
 
     [4-byte big-endian row count] [time_us rows][ftype rows]...[seq rows]
@@ -28,6 +32,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..frames import TRACE_SCHEMA, Trace
+from ..framing import FrameError, encode_frame, header_length
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import asyncio
@@ -53,7 +58,7 @@ MAX_BATCH_BYTES = 64 * 1024 * 1024
 _ROW_BYTES = sum(np.dtype(dtype).itemsize for _, dtype in TRACE_SCHEMA)
 
 
-class FrameBatchError(ValueError):
+class FrameBatchError(FrameError):
     """A pushed frame batch failed to decode (corrupt or mis-framed)."""
 
 
@@ -100,12 +105,12 @@ def decode_batch(payload: bytes) -> Trace:
 
 def encode_eof() -> bytes:
     """The framed end-of-feed marker."""
-    return BATCH_MAGIC + struct.pack(">I", 0)
+    return encode_frame(b"", BATCH_MAGIC)
 
 
 def frame_batch(payload: bytes) -> bytes:
     """Wrap an encoded batch payload in magic + length framing."""
-    return BATCH_MAGIC + struct.pack(">I", len(payload)) + payload
+    return encode_frame(payload, BATCH_MAGIC)
 
 
 async def read_batches(reader: "asyncio.StreamReader"):
@@ -132,17 +137,14 @@ async def read_batches(reader: "asyncio.StreamReader"):
             raise ConnectionResetError(
                 "feed connection dropped mid-batch header"
             ) from error
-        if header[:4] != BATCH_MAGIC:
-            raise FrameBatchError(
-                f"bad batch magic {header[:4]!r} (expected {BATCH_MAGIC!r})"
-            )
-        (length,) = struct.unpack(">I", header[4:])
+        length = header_length(
+            header,
+            magic=BATCH_MAGIC,
+            max_bytes=MAX_BATCH_BYTES,
+            error=FrameBatchError,
+        )
         if length == 0:
             return
-        if length > MAX_BATCH_BYTES:
-            raise FrameBatchError(
-                f"batch length {length} exceeds cap {MAX_BATCH_BYTES}"
-            )
         try:
             payload = await reader.readexactly(length)
         except asyncio.IncompleteReadError as error:

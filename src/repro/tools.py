@@ -12,6 +12,9 @@ Usage (``repro`` and ``python -m repro`` are the same program)::
         --store campaign-store --resume
     repro campaign-status --store campaign-store \\
         --scenario ramp --vary n_stations=10,20,40 --seeds 2
+    repro campaign-coordinator --store campaign-store \\
+        --scenario ramp --vary n_stations=10,20,40 --seeds 2 --port 9300
+    repro campaign-worker --connect 127.0.0.1:9300
     repro info capture.pcap
     repro serve --port 8433
 
@@ -26,7 +29,11 @@ library scenario across a process pool (each cell streamed live
 through the pipeline, bounded memory) and prints/saves the campaign
 summary — with ``--store`` every finished cell persists immediately
 (crash-safe) and ``--resume`` re-runs only missing cells;
-``campaign-status`` lists done/pending/failed cells of a stored grid;
+``campaign-status`` lists done/pending/failed cells of a stored grid
+(and the live cluster state when a coordinator is running over it);
+``campaign-coordinator``/``campaign-worker`` run the same sweep as a
+fault-tolerant cluster — workers lease cell batches over a socket and
+may be killed, added or restarted freely (:mod:`repro.campaign.dispatch`);
 ``info`` prints the Table-1 style summary only; ``serve`` runs the
 always-on multi-feed analysis daemon (:mod:`repro.serve`).
 """
@@ -35,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import os
 import pstats
 import sys
 
@@ -232,6 +240,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a cProfile top-20 cumulative table after the sweep "
         "(forces --workers 1 so cell work is visible to the profiler)",
     )
+    campaign.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget: a cell still running at the "
+        "deadline fails as type=Timeout instead of stalling its worker",
+    )
+    campaign.add_argument(
+        "--dispatch",
+        choices=("local", "distributed"),
+        default="local",
+        help="'local' = one process pool; 'distributed' = fault-tolerant "
+        "coordinator + worker subprocesses (lease/heartbeat/retry; "
+        "survives killed workers)",
+    )
 
     status = sub.add_parser(
         "campaign-status",
@@ -256,6 +280,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="MODE",
         help="fidelity the campaign ran with (store keys include it)",
+    )
+
+    coordinator = sub.add_parser(
+        "campaign-coordinator",
+        help="serve a campaign grid to campaign-worker processes "
+        "(lease-based fault-tolerant dispatch)",
+    )
+    coordinator.add_argument(
+        "--store", required=True, metavar="DIR", help="campaign store directory"
+    )
+    coordinator.add_argument("--scenario", default="ramp")
+    coordinator.add_argument(
+        "--vary", action="append", default=[], metavar="KEY=V1,V2,..."
+    )
+    coordinator.add_argument(
+        "--fix", action="append", default=[], metavar="KEY=VALUE"
+    )
+    coordinator.add_argument("--seeds", type=int, default=1)
+    coordinator.add_argument("--fidelity", default=None, metavar="MODE")
+    coordinator.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    coordinator.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = ephemeral)"
+    )
+    coordinator.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        help="lease lifetime without a heartbeat before cells are reclaimed",
+    )
+    coordinator.add_argument(
+        "--batch", type=int, default=2, help="cells granted per lease"
+    )
+    coordinator.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="tries per cell before it is recorded as a permanent failure",
+    )
+    coordinator.add_argument(
+        "--timeout-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget enforced on the workers",
+    )
+    coordinator.add_argument(
+        "--chunk-frames", type=int, default=DEFAULT_CHUNK_FRAMES
+    )
+    coordinator.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore (and overwrite) results already in the store",
+    )
+    coordinator.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-dispatch cells whose store record is a failure",
+    )
+    coordinator.add_argument(
+        "--out", default=None, help="also write the summary to this path"
+    )
+
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="lease and simulate cells from a campaign-coordinator",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (printed by campaign-coordinator)",
+    )
+    worker.add_argument(
+        "--id", default=None, metavar="NAME", help="worker name for status output"
+    )
+    worker.add_argument(
+        "--shard",
+        default=None,
+        metavar="DIR",
+        help="override the shard directory the coordinator assigns",
     )
 
     info = sub.add_parser("info", help="capture summary only")
@@ -546,6 +652,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 store_dir=args.store,
                 resume=args.resume,
                 retry_failed=args.retry_failed,
+                timeout_s=args.timeout_s,
+                dispatch=args.dispatch,
             )
     except (ValueError, TypeError) as error:
         print(f"campaign error: {_error_text(error)}", file=sys.stderr)
@@ -570,8 +678,130 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_coordinator(args: argparse.Namespace) -> int:
+    from .campaign import ParameterGrid, render_campaign
+    from .campaign.dispatch import Coordinator
+
+    if args.seeds < 1:
+        print("--seeds must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        grid = ParameterGrid(
+            args.scenario,
+            axes=_parse_assignments(args.vary, multi=True),
+            seeds=args.seeds,
+            fixed=_parse_assignments(args.fix, multi=False),
+            fidelity=args.fidelity,
+        )
+        grid.validate()
+        with Coordinator(
+            grid,
+            args.store,
+            host=args.host,
+            port=args.port,
+            lease_s=args.lease_s,
+            batch=args.batch,
+            max_attempts=args.max_attempts,
+            resume=not args.no_resume,
+            retry_failed=args.retry_failed,
+            chunk_frames=args.chunk_frames,
+            timeout_s=args.timeout_s,
+        ) as coordinator:
+            host, port = coordinator.address
+            print(
+                f"coordinator listening on {host}:{port} "
+                f"({coordinator.state.outstanding} of "
+                f"{coordinator.state.n_cells} cells to run) — start workers "
+                f"with: repro campaign-worker --connect {host}:{port}",
+                file=sys.stderr,
+            )
+            try:
+                while not coordinator.wait(timeout=1.0):
+                    pass
+            except KeyboardInterrupt:
+                print(
+                    "interrupted; finished cells are in the store and a "
+                    "re-run resumes from them",
+                    file=sys.stderr,
+                )
+                return 130
+            result = coordinator.result()
+    except (ValueError, TypeError, OSError) as error:
+        print(f"campaign error: {_error_text(error)}", file=sys.stderr)
+        return 2
+    text = render_campaign(result, title=f"Campaign [{args.scenario}]")
+    print(text, end="")
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"summary written to {args.out}", file=sys.stderr)
+    return 1 if result.failed else 0
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from .campaign.worker import run_worker
+
+    host, sep, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+        if not sep or not host:
+            raise ValueError
+    except ValueError:
+        print(
+            f"--connect expects HOST:PORT, got {args.connect!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        completed = run_worker(
+            host, port, worker_id=args.id, shard_dir=args.shard
+        )
+    except ConnectionError as error:
+        print(f"worker: coordinator unreachable ({error})", file=sys.stderr)
+        return 1
+    print(f"worker done: {completed} cell(s) computed", file=sys.stderr)
+    return 0
+
+
+def _render_cluster_state(store_dir: str) -> bool:
+    """Print the coordinator's live status file, if one exists."""
+    import json
+    from pathlib import Path
+
+    from .campaign.dispatch import STATE_FILENAME
+
+    path = Path(store_dir) / STATE_FILENAME
+    try:
+        state = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    host, port = state.get("address", ["?", "?"])
+    print(
+        f"cluster [{state.get('phase', '?')}] coordinator {host}:{port} — "
+        f"{state.get('done', 0)}/{state.get('cells', 0)} done, "
+        f"{state.get('failed', 0)} failed, {state.get('ready', 0)} ready, "
+        f"{state.get('leased', 0)} leased, {state.get('delayed', 0)} "
+        f"backing off ({state.get('reclaims', 0)} lease reclaims, "
+        f"{state.get('retries', 0)} retries)"
+    )
+    for lease in state.get("leases", []):
+        print(
+            f"  lease {lease['lease']:6s} {lease['worker']}: "
+            f"cells {lease['cells']} (expires in {lease['expires_in_s']}s)"
+        )
+    for name, stats in state.get("workers", {}).items():
+        print(
+            f"  worker {name}: {stats['completed']} completed, "
+            f"{stats['failed']} failed, last seen {stats['idle_s']}s ago"
+        )
+    if state.get("quarantined"):
+        print(f"  {state['quarantined']} corrupt record(s) quarantined")
+    return True
+
+
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     store = CampaignStore(args.store)
+    _render_cluster_state(args.store)
     if args.scenario is not None:
         if args.scenario not in available_scenarios():
             print(f"unknown scenario {args.scenario!r}", file=sys.stderr)
@@ -599,6 +829,11 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         for failure in status.failed:
             message = failure.error.splitlines()[0] if failure.error else ""
             print(f"  {'failed':8s} {failure.name}  [{failure.error_type}: {message}]")
+        if store.quarantined:
+            print(
+                f"  {store.quarantined} corrupt record(s) quarantined "
+                "(*.corrupt — inspect before re-running)"
+            )
         return 0
     # No grid given: inventory whatever the store holds.
     n_done = n_failed = 0
@@ -615,6 +850,11 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                 f"[{error.get('type', '?')}: {error.get('message', '')}]"
             )
     print(f"{args.store}: {n_done} done, {n_failed} failed")
+    if store.quarantined:
+        print(
+            f"  {store.quarantined} corrupt record(s) quarantined "
+            "(*.corrupt — inspect before re-running)"
+        )
     return 0
 
 
@@ -652,6 +892,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "campaign": _cmd_campaign,
     "campaign-status": _cmd_campaign_status,
+    "campaign-coordinator": _cmd_campaign_coordinator,
+    "campaign-worker": _cmd_campaign_worker,
     "info": _cmd_info,
     "serve": _cmd_serve,
 }
@@ -660,7 +902,15 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `... | head`): not an error,
+        # but Python would print a traceback at interpreter shutdown
+        # unless stdout is detached from the dead pipe first.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

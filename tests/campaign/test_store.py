@@ -368,3 +368,69 @@ class TestFailureRecords:
         assert payload["cell"]["name"] == self.BAD_CELL.name
         assert payload["error"]["type"] == "ValueError"
         assert "Traceback" in payload["error"]["traceback"]
+
+
+class TestQuarantine:
+    """Corrupt records are renamed, counted and surfaced — never trusted
+    or silently destroyed."""
+
+    def test_corrupt_record_quarantined_with_evidence(self, tmp_path):
+        store_dir = tmp_path / "s"
+        cell = GRID.cells()[0]
+        first = run_campaign([cell], workers=1, store_dir=store_dir)
+        store = CampaignStore(store_dir)
+        path = store.result_path(store.key_for(cell))
+        path.write_text('{"kind": "result", "trunca')
+        resumed = run_campaign([cell], workers=1, store_dir=store_dir)
+        assert resumed.quarantined == 1
+        assert resumed.dispatched == 1
+        assert _numbers(resumed) == _numbers(first)
+        corpse = path.with_name(path.name + ".corrupt")
+        assert corpse.exists()
+        assert corpse.read_text().startswith('{"kind"')  # evidence kept
+
+    def test_quarantine_count_surfaces_in_summary_header(self, tmp_path):
+        store_dir = tmp_path / "s"
+        cell = GRID.cells()[0]
+        run_campaign([cell], workers=1, store_dir=store_dir)
+        store = CampaignStore(store_dir)
+        store.result_path(store.key_for(cell)).write_text("garbage")
+        result = run_campaign([cell], workers=1, store_dir=store_dir)
+        header = render_campaign(result).splitlines()[0]
+        assert "1 corrupt record(s) quarantined" in header
+        clean = run_campaign([cell], workers=1, store_dir=store_dir)
+        assert clean.quarantined == 0
+        assert "quarantined" not in render_campaign(clean).splitlines()[0]
+
+    def test_campaign_status_reports_quarantined(self, tmp_path, capsys):
+        from repro.tools import main
+
+        store_dir = tmp_path / "s"
+        cell = GRID.cells()[0]
+        run_campaign([cell], workers=1, store_dir=store_dir)
+        store = CampaignStore(store_dir)
+        store.result_path(store.key_for(cell)).write_text("garbage")
+        assert main(["campaign-status", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt record(s) quarantined" in out
+
+    def test_records_walk_quarantines_instead_of_skipping(self, tmp_path):
+        store_dir = tmp_path / "s"
+        run_campaign(GRID.cells()[:2], workers=1, store_dir=store_dir)
+        store = CampaignStore(store_dir)
+        victim = store.result_path(store.key_for(GRID.cells()[0]))
+        victim.write_text("\x00\x01 not json")
+        records = list(store.records())
+        assert len(records) == 1
+        assert store.quarantined == 1
+        assert victim.with_name(victim.name + ".corrupt").exists()
+
+    def test_status_never_counts_unreadable_work_as_done(self, tmp_path):
+        store_dir = tmp_path / "s"
+        cells = GRID.cells()[:2]
+        run_campaign(cells, workers=1, store_dir=store_dir)
+        store = CampaignStore(store_dir)
+        store.result_path(store.key_for(cells[0])).write_text("junk")
+        status = store.status(cells)
+        assert status.counts == {"done": 1, "pending": 1, "failed": 0}
+        assert store.quarantined == 1
