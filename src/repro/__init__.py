@@ -40,24 +40,47 @@ first-class public API — the api layer routes to them unchanged.
 
 __version__ = "1.1.0"
 
-from .api import (
-    Experiment,
-    ExperimentResult,
-    ExperimentSpec,
-    SpecError,
-    load_spec,
-    run_spec,
-)
-from .campaign import CampaignStore, ParameterGrid, render_campaign, run_campaign
-from .core import analyze_trace
-from .core.render import render_report
-from .pipeline import run_all, run_batch
-from .sim import (
-    ScenarioConfig,
-    available_scenarios,
-    build_scenario,
-    run_scenario,
-)
+#: Public name → defining submodule.  Resolved lazily (PEP 562) so that
+#: importing :mod:`repro` costs nothing until a name is touched — in
+#: particular, dependency-free corners like ``python -m repro.lint``
+#: must import on a bare interpreter (no numpy, Python 3.10) even
+#: though the analysis stack needs numpy and 3.11+.
+_EXPORTS = {
+    "Experiment": "repro.api",
+    "ExperimentResult": "repro.api",
+    "ExperimentSpec": "repro.api",
+    "SpecError": "repro.api",
+    "load_spec": "repro.api",
+    "run_spec": "repro.api",
+    "CampaignStore": "repro.campaign",
+    "ParameterGrid": "repro.campaign",
+    "render_campaign": "repro.campaign",
+    "run_campaign": "repro.campaign",
+    "analyze_trace": "repro.core",
+    "render_report": "repro.core.render",
+    "run_all": "repro.pipeline",
+    "run_batch": "repro.pipeline",
+    "ScenarioConfig": "repro.sim",
+    "available_scenarios": "repro.sim",
+    "build_scenario": "repro.sim",
+    "run_scenario": "repro.sim",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: resolve each name once
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     "CampaignStore",

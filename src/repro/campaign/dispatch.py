@@ -59,7 +59,10 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from .. import protocol_registry
+from .._suggest import unknown_name_message
 from ..framing import FrameError, recv_frame, send_frame
+from ..protocol_registry import DISPATCH_OPS
 from .grid import CampaignCell, ParameterGrid
 from .merge import merge_shards, shard_roots
 from .runner import CELL_CHUNK_FRAMES, CampaignResult, CellResult, _expand_cells
@@ -78,7 +81,8 @@ __all__ = [
 ]
 
 #: Protocol magic: JSON dispatch messages (vs the serve layer's RPF1).
-DISPATCH_MAGIC = b"RPJ1"
+#: Declared once in the registry; re-exported here for callers.
+DISPATCH_MAGIC = protocol_registry.DISPATCH_MAGIC
 
 #: A dispatch message is small JSON; anything near this cap is corrupt.
 MAX_MESSAGE_BYTES = 8 * 1024 * 1024
@@ -111,7 +115,17 @@ class DispatchError(RuntimeError):
 
 
 def send_message(sock: socket.socket, message: Mapping) -> None:
-    """Send one framed JSON message."""
+    """Send one framed JSON message.
+
+    Refuses ops outside :data:`repro.protocol_registry.DISPATCH_OPS`:
+    an undeclared op would be rejected (or worse, misread) by the peer,
+    so the typo fails here, at the sender, with a did-you-mean.
+    """
+    op = message.get("op")
+    if not isinstance(op, str) or op not in DISPATCH_OPS:
+        raise DispatchError(
+            unknown_name_message("dispatch op", str(op), DISPATCH_OPS)
+        )
     payload = json.dumps(message, separators=(",", ":")).encode()
     send_frame(sock, payload, DISPATCH_MAGIC)
 
@@ -733,7 +747,7 @@ class Coordinator:
     def _write_state_file_locked(self) -> None:
         snapshot = self.state.snapshot()
         snapshot["address"] = list(self.address)
-        snapshot["updated"] = time.time()
+        snapshot["updated"] = time.time()  # repro: lint-ok[det-wall-clock] operator-facing staleness stamp, never feeds results
         snapshot["elapsed_s"] = round(time.perf_counter() - self._start, 3)
         try:
             CampaignStore._atomic_write_json(

@@ -114,15 +114,20 @@ def run_worker(
     *,
     worker_id: str | None = None,
     shard_dir: str | os.PathLike | None = None,
+    connect_timeout_s: float = 10.0,
 ) -> int:
     """Serve one coordinator until its campaign is done.
 
     Returns the number of cells this worker completed (successes plus
     captured failures).  Raises :class:`ConnectionError` if the
     coordinator vanishes mid-campaign — the supervisor (or the
-    operator) decides whether to reconnect.
+    operator) decides whether to reconnect.  ``connect_timeout_s``
+    bounds only the initial connect (``OSError``/``TimeoutError`` on
+    an unreachable coordinator); the session itself blocks, since a
+    lease-grant can legitimately take as long as the queue is deep.
     """
-    sock = socket.create_connection((host, port))
+    sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+    sock.settimeout(None)
     channel = WorkerChannel(sock)
     try:
         return _serve(channel, worker_id=worker_id, shard_dir=shard_dir)

@@ -1,0 +1,13 @@
+"""``python -m repro.lint`` — the dependency-free analyzer entry.
+
+Identical to ``repro lint`` (both call :func:`repro.lint.cli.main`),
+but importable on a bare interpreter: the lint package and the lazy
+:mod:`repro` package ``__init__`` pull in no numpy and no 3.11-only
+stdlib, so the CI ``lint-gate`` job runs this form on Python 3.10
+with nothing installed.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Small AST helpers shared by every rule module (stdlib ``ast`` only)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "assigned_names",
+    "call_has_argument",
+    "calls_within",
+    "dotted_name",
+    "iter_async_calls",
+    "walk_outside_functions",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    The workhorse of every call-pattern rule: resolves the *textual*
+    call target (``np.random.default_rng``, ``time.sleep``) without
+    any import resolution — by design, so the rules stay honest about
+    what they match and fixtures stay trivial.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_has_argument(call: ast.Call, *, keyword: str, min_args: int) -> bool:
+    """True if the call passes ``keyword=`` or at least ``min_args``
+    positional arguments (i.e. the parameter was supplied either way).
+    A ``**kwargs`` splat is given the benefit of the doubt."""
+    if len(call.args) >= min_args:
+        return True
+    for kw in call.keywords:
+        if kw.arg == keyword or kw.arg is None:
+            return True
+    return False
+
+
+def calls_within(
+    body: list[ast.stmt], *, into_functions: bool = False
+) -> Iterator[ast.Call]:
+    """Yield Call nodes lexically inside ``body``.
+
+    With ``into_functions=False`` (the default), nested function and
+    lambda bodies are *not* descended into: a sync helper defined
+    inside an ``async def`` is typically an executor target, not code
+    that runs on the event loop.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            yield node
+        if not into_functions and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_async_calls(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AsyncFunctionDef, ast.Call]]:
+    """Every Call that executes on the event loop: ``(async def, call)``
+    pairs, excluding calls inside nested sync defs/lambdas (executor
+    targets).  Nested ``async def`` bodies are visited on their own."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            for call in calls_within(node.body):
+                yield node, call
+
+
+def walk_outside_functions(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def assigned_names(target: ast.AST) -> Iterator[str]:
+    """Names bound by an assignment target (tuples unpacked)."""
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            yield node.id

@@ -1,0 +1,108 @@
+"""The ratcheting baseline: counts may only ever go down.
+
+The committed ``lint-baseline.json`` records, per ``rule:path`` key,
+how many findings are *grandfathered* — known, accepted, waiting to be
+fixed.  A check run fails the moment any key's live count exceeds its
+grandfathered count (a **new** finding), and merely *notes* keys whose
+live count dropped (an **improvement**) so ``--write-baseline`` can
+lock the win in.  Keys are (rule, file) — not line numbers — so moving
+code never reads as a new finding, only genuinely adding one does.
+
+The file itself is deterministic (sorted keys, no timestamps): writing
+it twice from the same tree is byte-identical, exactly like every
+other artifact this repo commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineDelta",
+    "BaselineError",
+    "compare",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be read or has the wrong shape."""
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Grandfathered counts from a baseline file; ``{}`` if absent."""
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return {}
+    except OSError as error:
+        raise BaselineError(f"unreadable baseline {path}: {error}") from None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"corrupt baseline {path}: {error}") from None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("counts"), dict
+    ):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'counts' mapping"
+        )
+    counts: dict[str, int] = {}
+    for key, value in payload["counts"].items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 1:
+            raise BaselineError(
+                f"baseline {path}: bad entry {key!r}: {value!r} "
+                "(counts are positive integers keyed by 'rule:path')"
+            )
+        counts[key] = value
+    return counts
+
+
+def write_baseline(path: str | Path, counts: dict[str, int]) -> None:
+    """Write the baseline deterministically (sorted, no timestamps)."""
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered `repro lint` findings, counted per rule:path. "
+            "The ratchet: counts may only decrease. Regenerate with "
+            "`repro lint --write-baseline` after fixing findings."
+        ),
+        "counts": {k: counts[k] for k in sorted(counts) if counts[k] > 0},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class BaselineDelta:
+    """Live counts vs grandfathered counts."""
+
+    #: key → (live, grandfathered) where live > grandfathered: FAIL.
+    new: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: key → (live, grandfathered) where live < grandfathered: ratchet.
+    improved: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def compare(current: dict[str, int], baseline: dict[str, int]) -> BaselineDelta:
+    delta = BaselineDelta()
+    for key in sorted(set(current) | set(baseline)):
+        live = current.get(key, 0)
+        grandfathered = baseline.get(key, 0)
+        if live > grandfathered:
+            delta.new[key] = (live, grandfathered)
+        elif live < grandfathered:
+            delta.improved[key] = (live, grandfathered)
+    return delta

@@ -1,0 +1,214 @@
+"""CLI for the analyzer: ``repro lint`` and ``python -m repro.lint``.
+
+Both entries share this module: :func:`add_lint_arguments` installs
+the flags on whatever parser hosts the verb, and :func:`run_from_args`
+executes it.  The standalone module form exists so the linter runs on
+any interpreter with zero third-party imports (the CI ``lint-gate``
+job exercises it on a bare Python 3.10 with no numpy installed).
+
+Exit codes: 0 clean (or everything grandfathered by the baseline),
+1 findings (new findings, in baseline mode), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from .engine import run_lint
+from .findings import Finding
+from .rules import RULES
+
+__all__ = ["add_lint_arguments", "main", "run_from_args"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``lint`` flags on ``parser`` (shared by both CLIs)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/ and tests/)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repository root (default: walk up from cwd to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE,
+        default=None,
+        metavar="PATH",
+        help="ratchet mode: fail only on findings beyond the committed "
+        f"baseline (default path: {DEFAULT_BASELINE} under --root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current counts as the new baseline and exit 0 "
+        "(an explicit human decision — check mode never widens it)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE-ID",
+        help="report only these rule ids (repeatable; did-you-mean on typos)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, severity, summary) and exit",
+    )
+
+
+def find_root(start: Path | None = None) -> Path | None:
+    """Nearest ancestor of ``start`` (default cwd) with a pyproject.toml."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def _rule_catalog() -> str:
+    lines = ["rule id              sev      summary"]
+    for spec in sorted(RULES.values(), key=lambda s: (s.family, s.id)):
+        lines.append(f"{spec.id:<20s} {spec.severity:<8s} {spec.summary}")
+    return "\n".join(lines)
+
+
+def _render_text(
+    findings: list[Finding],
+    *,
+    files_scanned: int,
+    new_keys: set[str] | None,
+    improved: dict | None,
+) -> str:
+    lines = []
+    for finding in findings:
+        suffix = ""
+        if new_keys is not None:
+            suffix = (
+                "  (NEW)" if finding.key in new_keys else "  (grandfathered)"
+            )
+        lines.append(finding.render() + suffix)
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s) ({errors} error, {warnings} warning) "
+        f"across {files_scanned} file(s)"
+    )
+    if improved:
+        lines.append(
+            f"ratchet: {len(improved)} baseline key(s) improved — run "
+            "`repro lint --write-baseline` to lock the win in"
+        )
+    return "\n".join(lines)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        print(_rule_catalog())
+        return 0
+
+    root = Path(args.root).resolve() if args.root else find_root()
+    if root is None:
+        print(
+            "repro lint: cannot find the repository root (no "
+            "pyproject.toml above cwd) — pass --root DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if not root.is_dir():
+        print(f"repro lint: --root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(root, args.paths or None, select=args.select or None)
+    except ValueError as error:  # unknown --select id, with did-you-mean
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    counts = result.counts
+
+    baseline_path = args.baseline
+    if baseline_path is None and args.write_baseline:
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None:
+        baseline_file = Path(baseline_path)
+        if not baseline_file.is_absolute():
+            baseline_file = root / baseline_file
+
+    if args.write_baseline:
+        write_baseline(baseline_file, counts)
+        print(
+            f"baseline written: {baseline_file} "
+            f"({len(counts)} key(s), {len(result.findings)} finding(s))"
+        )
+        return 0
+
+    new_keys: set[str] | None = None
+    improved: dict | None = None
+    ok = not result.findings
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_file)
+        except BaselineError as error:
+            print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+        delta = compare(counts, baseline)
+        new_keys = set(delta.new)
+        improved = delta.improved
+        ok = delta.ok
+
+    if args.format == "json":
+        payload = {
+            "ok": ok,
+            "files_scanned": result.files_scanned,
+            "findings": [f.to_jsonable() for f in result.findings],
+            "counts": dict(sorted(counts.items())),
+        }
+        if new_keys is not None:
+            payload["new"] = sorted(new_keys)
+            payload["improved"] = {
+                k: {"live": live, "grandfathered": grand}
+                for k, (live, grand) in (improved or {}).items()
+            }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        print(
+            _render_text(
+                result.findings,
+                files_scanned=result.files_scanned,
+                new_keys=new_keys,
+                improved=improved,
+            )
+        )
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based determinism & protocol-safety analyzer "
+        "(stdlib-only; see docs/ARCHITECTURE.md 'Static analysis')",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

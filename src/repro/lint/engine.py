@@ -1,0 +1,258 @@
+"""The analysis engine: parse once, run every rule, apply pragmas.
+
+One :func:`run_lint` call walks the scanned tree (``src/`` and
+``tests/``), parses each file a single time, runs every per-file rule
+whose scope matches, runs project rules once over the whole tree, then
+applies the suppression pass:
+
+* findings covered by a *valid* pragma are dropped (the pragma is
+  marked used),
+* malformed pragmas, pragmas naming unknown rule ids, and pragmas
+  that suppressed nothing become findings themselves (``pragma-*``),
+* a file that fails to parse yields one ``parse-error`` finding
+  instead of crashing the run.
+
+Everything is pure stdlib and deterministic: same tree in, same
+findings out, in the same order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .._suggest import unknown_name_message
+from .findings import Finding
+from .pragmas import Pragma, parse_pragmas
+from .rules import RULES
+
+__all__ = ["FileContext", "LintResult", "ProjectContext", "run_lint"]
+
+#: Directories scanned relative to the repo root.
+SCAN_DIRS = ("src", "tests")
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule may look at."""
+
+    root: Path
+    path: str  #: repo-relative posix path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+class ProjectContext:
+    """Whole-tree view for project rules; parses lazily, caches."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._cache: dict[str, FileContext | None] = {}
+
+    def parse(self, rel: str) -> FileContext | None:
+        """FileContext for a repo-relative path, None if absent/broken."""
+        if rel not in self._cache:
+            full = self.root / rel
+            try:
+                source = full.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=rel)
+            except (OSError, SyntaxError, UnicodeDecodeError):
+                self._cache[rel] = None
+            else:
+                self._cache[rel] = FileContext(
+                    root=self.root, path=rel, source=source, tree=tree
+                )
+        return self._cache[rel]
+
+
+@dataclass
+class LintResult:
+    findings: list[Finding]
+    files_scanned: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.key] = out.get(finding.key, 0) + 1
+        return out
+
+
+def discover_files(root: Path, paths: Sequence[str] | None = None) -> list[str]:
+    """Repo-relative posix paths of every Python file to scan.
+
+    ``paths`` (files or directories, absolute or root-relative)
+    restricts the walk; by default the whole ``src``/``tests`` tree is
+    scanned.
+    """
+    if paths:
+        wanted: list[str] = []
+        for entry in paths:
+            full = Path(entry)
+            if not full.is_absolute():
+                full = root / entry
+            if full.is_dir():
+                wanted.extend(
+                    p.relative_to(root).as_posix()
+                    for p in sorted(full.rglob("*.py"))
+                )
+            elif full.suffix == ".py":
+                wanted.append(full.resolve().relative_to(root.resolve()).as_posix())
+        return sorted(set(wanted))
+    found: list[str] = []
+    for base in SCAN_DIRS:
+        base_dir = root / base
+        if base_dir.is_dir():
+            found.extend(
+                p.relative_to(root).as_posix()
+                for p in sorted(base_dir.rglob("*.py"))
+            )
+    return found
+
+
+def _apply_pragmas(
+    ctx: FileContext, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split one file's findings into (kept, suppressed); emit meta
+    findings for malformed / unknown-rule / unused pragmas."""
+    pragmas: list[Pragma] = parse_pragmas(ctx.source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        covering = [
+            p for p in pragmas if p.covers(finding.line, finding.rule)
+        ]
+        if covering:
+            for pragma in covering:
+                pragma.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    for pragma in pragmas:
+        for problem in pragma.problems:
+            kept.append(
+                Finding(
+                    path=ctx.path,
+                    line=pragma.line,
+                    col=0,
+                    rule="pragma-malformed",
+                    severity=RULES["pragma-malformed"].severity,
+                    message=f"malformed lint-ok pragma: {problem}",
+                )
+            )
+        for rule_id in pragma.rules:
+            if rule_id not in RULES:
+                kept.append(
+                    Finding(
+                        path=ctx.path,
+                        line=pragma.line,
+                        col=0,
+                        rule="pragma-unknown-rule",
+                        severity=RULES["pragma-unknown-rule"].severity,
+                        message=unknown_name_message(
+                            "lint rule", rule_id, RULES
+                        ),
+                    )
+                )
+        if pragma.valid and not pragma.used:
+            kept.append(
+                Finding(
+                    path=ctx.path,
+                    line=pragma.line,
+                    col=0,
+                    rule="pragma-unused",
+                    severity=RULES["pragma-unused"].severity,
+                    message=(
+                        "lint-ok pragma suppresses nothing "
+                        f"(rules: {', '.join(pragma.rules)}) — stale "
+                        "suppressions misdocument the code; remove it"
+                    ),
+                )
+            )
+    return kept, suppressed
+
+
+def run_lint(
+    root: str | Path,
+    paths: Sequence[str] | None = None,
+    *,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint the tree under ``root``; see module docstring.
+
+    ``select`` restricts *reported* findings to the given rule ids
+    (every rule still runs, so pragma bookkeeping stays correct).
+    Unknown ids in ``select`` raise ``ValueError`` with a
+    did-you-mean.
+    """
+    root = Path(root)
+    selected: set[str] | None = None
+    if select is not None:
+        selected = set(select)
+        for rule_id in sorted(selected):
+            if rule_id not in RULES:
+                raise ValueError(
+                    unknown_name_message("lint rule", rule_id, RULES)
+                )
+
+    project = ProjectContext(root)
+    rel_paths = discover_files(root, paths)
+    per_file: dict[str, list[Finding]] = {rel: [] for rel in rel_paths}
+
+    for rel in rel_paths:
+        ctx = project.parse(rel)
+        if ctx is None:
+            full = root / rel
+            message = "unreadable file"
+            try:
+                ast.parse(full.read_text(encoding="utf-8"), filename=rel)
+            except SyntaxError as error:
+                message = f"syntax error: {error.msg} (line {error.lineno})"
+            except (OSError, UnicodeDecodeError) as error:
+                message = f"unreadable file: {error}"
+            per_file[rel].append(
+                Finding(
+                    path=rel,
+                    line=1,
+                    col=0,
+                    rule="parse-error",
+                    severity=RULES["parse-error"].severity,
+                    message=message,
+                )
+            )
+            continue
+        for spec in RULES.values():
+            if spec.check is None or spec.project:
+                continue
+            if spec.scope is not None and not spec.scope(rel):
+                continue
+            per_file[rel].extend(spec.check(ctx))
+
+    # Project rules: one pass over the whole tree.  Their findings are
+    # attributed to (and pragma-suppressible in) the file they point at.
+    for spec in RULES.values():
+        if spec.check is None or not spec.project:
+            continue
+        for finding in spec.check(project):
+            per_file.setdefault(finding.path, []).append(finding)
+
+    findings: list[Finding] = []
+    for rel, file_findings in per_file.items():
+        ctx = project.parse(rel)
+        if ctx is None:
+            findings.extend(file_findings)  # parse-error entries
+            continue
+        kept, _suppressed = _apply_pragmas(ctx, file_findings)
+        findings.extend(kept)
+
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+    return LintResult(findings=sorted(findings), files_scanned=len(rel_paths))

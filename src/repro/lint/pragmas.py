@@ -1,0 +1,117 @@
+"""Inline suppressions: ``# repro: lint-ok[rule-id] <why>``.
+
+A suppression *requires a reason* — the pragma exists to record a
+human judgement ("this wall-clock read is operator-facing, never feeds
+the simulation"), not to silence the tool.  A reasonless or malformed
+pragma is itself a finding, and so is a pragma that suppresses
+nothing: stale suppressions rot into lies about the code.
+
+Syntax, anywhere in a comment::
+
+    do_thing()  # repro: lint-ok[det-wall-clock] status stamp, not sim state
+    # repro: lint-ok[async-open, async-sleep] startup path, loop not live yet
+    next_line_is_covered()
+
+A pragma on its own line covers the following line; a trailing pragma
+covers its own line.  Rule ids are validated against the registry with
+"did you mean ...?" on typos (:mod:`repro._suggest`).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["PRAGMA_RE", "Pragma", "parse_pragmas"]
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\s*"  # the marker
+    r"(?:\[(?P<rules>[^\]]*)\])?"  # [rule-a, rule-b] (missing = malformed)
+    r"[ \t]*(?P<reason>[^#]*)"  # everything up to a further comment
+)
+
+#: A reason must carry some substance, not a stray character.
+MIN_REASON_CHARS = 8
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int  #: 1-based line the comment sits on
+    rules: tuple[str, ...]
+    reason: str
+    own_line: bool  #: comment-only line → covers ``line + 1``
+    problems: tuple[str, ...] = ()  #: malformations (reported, not applied)
+    used: bool = field(default=False, compare=False)
+
+    @property
+    def valid(self) -> bool:
+        return not self.problems
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Does this pragma suppress ``rule`` findings on ``line``?"""
+        if not self.valid or rule not in self.rules:
+            return False
+        return line == self.line or (self.own_line and line == self.line + 1)
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, text) of every real comment token in ``source``.
+
+    Tokenizing (rather than a plain-text line scan) means pragma
+    examples inside string literals and docstrings — this repo
+    documents the syntax in several places — are never mistaken for
+    live suppressions.
+    """
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comments.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the engine reports the file as parse-error separately
+    return comments
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every ``lint-ok`` pragma (including malformed ones)."""
+    pragmas: list[Pragma] = []
+    lines = source.splitlines()
+    for lineno, col, text in _comment_tokens(source):
+        prefix = lines[lineno - 1][:col] if lineno <= len(lines) else ""
+        for match in PRAGMA_RE.finditer(text):
+            raw_rules = match.group("rules")
+            reason = (match.group("reason") or "").strip()
+            problems: list[str] = []
+            rules: tuple[str, ...] = ()
+            if raw_rules is None:
+                problems.append(
+                    "missing [rule-id] bracket — write "
+                    "`# repro: lint-ok[rule-id] <why>`"
+                )
+            else:
+                rules = tuple(
+                    r.strip() for r in raw_rules.split(",") if r.strip()
+                )
+                if not rules:
+                    problems.append("empty [rule-id] bracket")
+            if len(reason) < MIN_REASON_CHARS:
+                problems.append(
+                    "a suppression requires a reason (min "
+                    f"{MIN_REASON_CHARS} chars) — say *why* the finding "
+                    "does not apply here"
+                )
+            own_line = match.start() == 0 and prefix.strip() == ""
+            pragmas.append(
+                Pragma(
+                    line=lineno,
+                    rules=rules,
+                    reason=reason,
+                    own_line=own_line,
+                    problems=tuple(problems),
+                )
+            )
+    return pragmas

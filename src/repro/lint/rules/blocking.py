@@ -1,0 +1,104 @@
+"""Asyncio-blocking rules: nothing synchronous on the serve event loop.
+
+The serve daemon's liveness contract — every feed keeps streaming
+while any one feed stalls or fails — holds only while no coroutine
+blocks the loop.  These rules flag the classic blockers *lexically
+inside ``async def`` bodies* under ``src/repro/serve/``.  Calls inside
+nested sync ``def``/``lambda`` bodies are exempt: that is exactly the
+``run_in_executor`` offload pattern the fix should use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..astutil import dotted_name, iter_async_calls
+from ..findings import Finding
+from . import in_dirs, make, rule
+
+SCOPE = in_dirs("src/repro/serve/")
+
+_SUBPROCESS = ("subprocess.run", "subprocess.call", "subprocess.check_call",
+               "subprocess.check_output", "subprocess.Popen")
+
+
+@rule(
+    "async-sleep",
+    family="async-blocking",
+    severity="error",
+    summary="`time.sleep` inside an async def (stalls the event loop)",
+    scope=SCOPE,
+)
+def check_async_sleep(ctx) -> Iterator[Finding]:
+    for fn, call in iter_async_calls(ctx.tree):
+        if dotted_name(call.func) == "time.sleep":
+            yield make(
+                ctx,
+                "async-sleep",
+                call,
+                f"`time.sleep` in `async def {fn.name}` freezes every "
+                "feed on the loop — use `await asyncio.sleep(...)`",
+            )
+
+
+@rule(
+    "async-open",
+    family="async-blocking",
+    severity="error",
+    summary="sync `open()` inside an async def (blocking disk I/O)",
+    scope=SCOPE,
+)
+def check_async_open(ctx) -> Iterator[Finding]:
+    import ast
+
+    for fn, call in iter_async_calls(ctx.tree):
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            yield make(
+                ctx,
+                "async-open",
+                call,
+                f"blocking `open()` in `async def {fn.name}` — offload "
+                "the whole write via "
+                "`await loop.run_in_executor(None, ...)` (or annotate "
+                "with a reasoned lint-ok pragma and a size bound)",
+            )
+
+
+@rule(
+    "async-subprocess",
+    family="async-blocking",
+    severity="error",
+    summary="sync subprocess call inside an async def",
+    scope=SCOPE,
+)
+def check_async_subprocess(ctx) -> Iterator[Finding]:
+    for fn, call in iter_async_calls(ctx.tree):
+        if dotted_name(call.func) in _SUBPROCESS:
+            yield make(
+                ctx,
+                "async-subprocess",
+                call,
+                f"sync subprocess call in `async def {fn.name}` — use "
+                "`asyncio.create_subprocess_exec` or executor-offload",
+            )
+
+
+@rule(
+    "async-socket",
+    family="async-blocking",
+    severity="error",
+    summary="sync `socket.*` call inside an async def",
+    scope=SCOPE,
+)
+def check_async_socket(ctx) -> Iterator[Finding]:
+    for fn, call in iter_async_calls(ctx.tree):
+        name = dotted_name(call.func)
+        if name is not None and name.startswith("socket."):
+            yield make(
+                ctx,
+                "async-socket",
+                call,
+                f"sync `{name}` in `async def {fn.name}` blocks the "
+                "loop — use asyncio streams (`asyncio.open_connection` "
+                "/ `start_server`)",
+            )

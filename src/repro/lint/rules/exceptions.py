@@ -1,0 +1,84 @@
+"""Exception-hygiene rules.
+
+Two invariants, everywhere in the codebase:
+
+* no bare ``except:`` — it swallows ``KeyboardInterrupt`` and
+  ``SystemExit``, turning Ctrl-C into a hang (name the exceptions, or
+  use ``except Exception`` when a broad net is genuinely wanted);
+* every ``except BaseException`` body must re-raise — the only
+  legitimate use in this repo is cleanup-then-reraise around atomic
+  writes (``store.py``/``merge.py``), where the temp file is unlinked
+  and the original exception continues.  A swallowing handler would
+  eat ``KeyboardInterrupt`` *and* corrupt the crash-safety story.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import walk_outside_functions
+from ..findings import Finding
+from . import in_dirs, make, rule
+
+SCOPE = in_dirs("src/", "tests/")
+
+
+def _names_base_exception(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Tuple):
+        return any(_names_base_exception(el) for el in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body (outside nested defs) contain a raise?"""
+    return any(
+        isinstance(node, ast.Raise)
+        for node in walk_outside_functions(handler.body)
+    )
+
+
+@rule(
+    "exc-bare",
+    family="exception-hygiene",
+    severity="error",
+    summary="bare `except:` (swallows KeyboardInterrupt/SystemExit)",
+    scope=SCOPE,
+)
+def check_bare_except(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield make(
+                ctx,
+                "exc-bare",
+                node,
+                "bare `except:` catches KeyboardInterrupt and "
+                "SystemExit — name the exceptions (or `except "
+                "Exception` for a deliberate broad net)",
+            )
+
+
+@rule(
+    "exc-swallow",
+    family="exception-hygiene",
+    severity="error",
+    summary="`except BaseException` body that does not re-raise",
+    scope=SCOPE,
+)
+def check_swallowed_base_exception(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _names_base_exception(node.type) and not _reraises(node):
+            yield make(
+                ctx,
+                "exc-swallow",
+                node,
+                "`except BaseException` must re-raise — the sanctioned "
+                "pattern is cleanup-then-`raise` (atomic-write temp "
+                "file removal); swallowing eats Ctrl-C",
+            )

@@ -1,0 +1,37 @@
+"""Test-hygiene rules: tier-1 stays fast and timing-independent.
+
+A fixed ``time.sleep`` in a test is either wasted wall-clock (the
+condition was already true) or a flake (the machine was slower than
+the constant).  Tier-1 polls through ``tests/waiting.wait_until`` —
+deadline-bounded, adaptive, and the single sanctioned sleep site
+(carrying the pragma that proves the rule is watching).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from ..findings import Finding
+from . import in_dirs, make, rule
+
+
+@rule(
+    "test-sleep",
+    family="test-hygiene",
+    severity="warning",
+    summary="wall-clock `time.sleep` in a tier-1 test",
+    scope=in_dirs("tests/"),
+)
+def check_test_sleep(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and dotted_name(node.func) == "time.sleep":
+            yield make(
+                ctx,
+                "test-sleep",
+                node,
+                "fixed sleep in a tier-1 test (slow when the condition "
+                "is already true, flaky when the machine is slow) — "
+                "poll with `tests.waiting.wait_until(predicate, ...)`",
+            )

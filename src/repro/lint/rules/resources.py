@@ -1,0 +1,45 @@
+"""Resource-safety rules: sockets must not be able to hang forever.
+
+A ``socket.create_connection`` without a timeout blocks until the
+kernel gives up (minutes, or never against a blackholed address) —
+exactly how a campaign worker wedged forever against an unreachable
+coordinator.  Every connect names a timeout; a deliberately blocking
+session restores blocking mode *after* the connect succeeds
+(``sock.settimeout(None)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_has_argument, dotted_name
+from ..findings import Finding
+from . import in_dirs, make, rule
+
+
+@rule(
+    "sock-no-timeout",
+    family="resource-safety",
+    severity="error",
+    summary="`socket.create_connection` without a connect timeout",
+    scope=in_dirs("src/"),
+)
+def check_connect_timeout(ctx) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if dotted_name(node.func) != "socket.create_connection":
+            continue
+        # Signature: create_connection(address, timeout=..., ...) —
+        # a second positional argument *is* the timeout.
+        if not call_has_argument(node, keyword="timeout", min_args=2):
+            yield make(
+                ctx,
+                "sock-no-timeout",
+                node,
+                "connect without a timeout hangs forever against an "
+                "unreachable peer — pass `timeout=`, then "
+                "`sock.settimeout(None)` if the session itself should "
+                "block",
+            )

@@ -1,0 +1,60 @@
+"""Declared registry of every repro wire-protocol identifier.
+
+Single source of truth for the message vocabulary that crosses process
+boundaries: the frame magics that name each protocol on the wire and
+the ``op`` strings of the campaign dispatch protocol.  Three layers
+consume it:
+
+* **Runtime senders** — :func:`repro.campaign.dispatch.send_message`
+  refuses to transmit an op that is not declared here, so a typo'd
+  message dies at the sender with a "did you mean ...?" instead of as a
+  confusing ``error`` reply (or silent drop) at the peer.
+* **Protocol modules** — :mod:`repro.campaign.dispatch` and
+  :mod:`repro.serve.protocol` import their magics from here rather
+  than re-declaring the literals.
+* **Static analysis** — the ``proto-*`` rules of :mod:`repro.lint`
+  cross-check every op/magic literal that appears in the protocol
+  sources against this registry, flagging typos and handler/message
+  drift before they ship.
+
+This module is stdlib-only and import-light on purpose: the lint
+engine must be able to read it on any interpreter, and nothing here
+may drag in numpy or the simulator.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BATCH_MAGIC", "DISPATCH_MAGIC", "DISPATCH_OPS", "WIRE_MAGICS"]
+
+#: Campaign dispatch: length-prefixed JSON request/reply messages.
+DISPATCH_MAGIC = b"RPJ1"
+
+#: Serve ingest: length-prefixed columnar frame batches.
+BATCH_MAGIC = b"RPF1"
+
+#: Every frame magic any repro socket may carry, by its ASCII name.
+WIRE_MAGICS = {
+    "RPJ1": "campaign dispatch — framed JSON request/reply",
+    "RPF1": "serve ingest — framed columnar trace batches",
+}
+
+#: The dispatch protocol's full message vocabulary (``op`` values).
+#: Requests travel worker → coordinator; replies coordinator → worker.
+DISPATCH_OPS = {
+    # requests
+    "hello": "introduce a worker; replied with: welcome",
+    "lease": "ask for a batch of cells; replied with: grant | wait | done",
+    "heartbeat": "extend a live lease; replied with: ok | gone",
+    "complete": "report one finished cell; replied with: ok",
+    "fail": "report one failed attempt; replied with: ok",
+    "status": "ask for a progress snapshot; replied with: status",
+    "bye": "clean disconnect (no reply expected)",
+    # replies
+    "welcome": "hello accepted: worker identity, salt, options, shard",
+    "grant": "a lease: id, lifetime and the granted cell batch",
+    "wait": "no dispatchable cells right now; retry after a hint",
+    "done": "every cell is resolved; the worker may exit",
+    "gone": "the heartbeat's lease no longer exists (reclaimed)",
+    "ok": "request absorbed (may carry duplicate/final/lease_valid)",
+    "error": "malformed or unknown request; diagnostic attached",
+}

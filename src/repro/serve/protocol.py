@@ -33,6 +33,7 @@ import numpy as np
 
 from ..frames import TRACE_SCHEMA, Trace
 from ..framing import FrameError, encode_frame, header_length
+from ..protocol_registry import BATCH_MAGIC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import asyncio
@@ -48,8 +49,6 @@ __all__ = [
     "write_batch",
     "write_eof",
 ]
-
-BATCH_MAGIC = b"RPF1"
 
 #: Upper bound on one batch's payload: a malicious or corrupt length
 #: prefix must never make the daemon allocate unbounded memory.

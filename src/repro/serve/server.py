@@ -480,10 +480,18 @@ async def serve_main(
         payload = json.dumps(
             {"http_port": daemon.http_port, "ingest_port": daemon.ingest_port}
         )
-        tmp = port_file + ".tmp"
-        with open(tmp, "w") as handle:
-            handle.write(payload)
-        os.replace(tmp, port_file)
+
+        def _write_port_file() -> None:
+            # Atomic write-then-rename; runs in the default executor so
+            # a slow filesystem never stalls the freshly started loop.
+            tmp = port_file + ".tmp"
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, port_file)
+
+        await asyncio.get_running_loop().run_in_executor(
+            None, _write_port_file
+        )
     if ready_message:
         ingest = daemon.ingest_port
         print(

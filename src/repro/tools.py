@@ -17,6 +17,7 @@ Usage (``repro`` and ``python -m repro`` are the same program)::
     repro campaign-worker --connect 127.0.0.1:9300
     repro info capture.pcap
     repro serve --port 8433
+    repro lint --baseline
 
 ``run`` executes a declarative experiment spec (TOML/JSON — see
 :mod:`repro.api.spec`); the other subcommands are thin adapters over
@@ -35,7 +36,9 @@ summary — with ``--store`` every finished cell persists immediately
 fault-tolerant cluster — workers lease cell batches over a socket and
 may be killed, added or restarted freely (:mod:`repro.campaign.dispatch`);
 ``info`` prints the Table-1 style summary only; ``serve`` runs the
-always-on multi-feed analysis daemon (:mod:`repro.serve`).
+always-on multi-feed analysis daemon (:mod:`repro.serve`); ``lint``
+runs the AST-based determinism & protocol-safety analyzer
+(:mod:`repro.lint`) against the committed ratchet baseline.
 """
 
 from __future__ import annotations
@@ -50,6 +53,8 @@ from .api import Experiment, SpecError
 from .campaign import CampaignStore, ParameterGrid
 from .core import dataset_summary
 from .core.render import render_report
+from .lint.cli import add_lint_arguments
+from .lint.cli import run_from_args as _run_lint_args
 from .pcap import read_trace, write_trace
 from .pipeline import DEFAULT_CHUNK_FRAMES
 from .sim import available_scenarios
@@ -363,6 +368,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="override the shard directory the coordinator assigns",
     )
+    worker.add_argument(
+        "--connect-timeout-s",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="initial connect timeout (the session itself blocks)",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism & protocol-safety analyzer",
+    )
+    add_lint_arguments(lint)
 
     info = sub.add_parser("info", help="capture summary only")
     info.add_argument("capture", help="input .pcap path")
@@ -754,9 +772,13 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
         return 2
     try:
         completed = run_worker(
-            host, port, worker_id=args.id, shard_dir=args.shard
+            host,
+            port,
+            worker_id=args.id,
+            shard_dir=args.shard,
+            connect_timeout_s=args.connect_timeout_s,
         )
-    except ConnectionError as error:
+    except (ConnectionError, TimeoutError, OSError) as error:
         print(f"worker: coordinator unreachable ({error})", file=sys.stderr)
         return 1
     print(f"worker done: {completed} cell(s) computed", file=sys.stderr)
@@ -886,6 +908,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_lint_args(args)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "simulate": _cmd_simulate,
@@ -894,6 +920,7 @@ _COMMANDS = {
     "campaign-status": _cmd_campaign_status,
     "campaign-coordinator": _cmd_campaign_coordinator,
     "campaign-worker": _cmd_campaign_worker,
+    "lint": _cmd_lint,
     "info": _cmd_info,
     "serve": _cmd_serve,
 }

@@ -523,14 +523,50 @@ class TestCoordinatorServer:
         assert result.store_hits == 2 and result.dispatched == 0
 
     def test_unknown_op_reported_not_fatal(self, tmp_path):
+        # send_frame directly: send_message refuses undeclared ops at
+        # the sender, but an arbitrary client can still put one on the
+        # wire — the server must reply with an error, not die.
+        from repro.framing import send_frame
+
         with Coordinator(
             make_cells(1), tmp_path / "store", salt=SALT
         ) as coordinator:
             worker = ProtocolWorker(coordinator)
             try:
-                reply = worker.request({"op": "frobnicate"})
+                payload = json.dumps({"op": "frobnicate"}).encode()
+                send_frame(worker.sock, payload, DISPATCH_MAGIC)
+                reply = recv_message(worker.sock)
                 assert reply["op"] == "error"
                 assert worker.lease()["op"] == "grant"  # connection survives
+            finally:
+                worker.close()
+
+    def test_worker_connect_times_out_fast(self):
+        """An unreachable coordinator fails the connect within the
+        timeout instead of hanging (the satellite bug: bare
+        create_connection blocks for the kernel's minutes-long
+        default)."""
+        import time
+
+        from repro.campaign.worker import run_worker
+
+        # RFC 5737 TEST-NET-1: guaranteed non-routable, so the connect
+        # either times out or is refused immediately — never answered.
+        start = time.perf_counter()
+        with pytest.raises(OSError):
+            run_worker("192.0.2.1", 9, connect_timeout_s=0.3)
+        assert time.perf_counter() - start < 5.0
+
+    def test_send_message_refuses_undeclared_op(self, tmp_path):
+        with Coordinator(
+            make_cells(1), tmp_path / "store", salt=SALT
+        ) as coordinator:
+            worker = ProtocolWorker(coordinator)
+            try:
+                with pytest.raises(DispatchError, match="did you mean 'heartbeat'"):
+                    send_message(worker.sock, {"op": "heartbeet"})
+                with pytest.raises(DispatchError, match="unknown dispatch op"):
+                    send_message(worker.sock, {"no": "op"})
             finally:
                 worker.close()
 

@@ -333,8 +333,12 @@ class TestServeCli:
         import signal
         import subprocess
         import sys
-        import time
         import urllib.request
+
+        from tests.waiting import wait_until
+
+        def _assert_alive(proc):
+            assert proc.poll() is None, proc.stdout.read().decode()
 
         port_file = tmp_path / "ports.json"
         env = dict(os.environ)
@@ -352,11 +356,12 @@ class TestServeCli:
             stderr=subprocess.STDOUT,
         )
         try:
-            deadline = time.monotonic() + 60
-            while not port_file.exists():
-                assert proc.poll() is None, proc.stdout.read().decode()
-                assert time.monotonic() < deadline, "daemon never wrote ports"
-                time.sleep(0.05)
+            wait_until(
+                port_file.exists,
+                timeout_s=60,
+                message="daemon never wrote ports",
+                on_tick=lambda: _assert_alive(proc),
+            )
             port = json.loads(port_file.read_text())["http_port"]
             base = f"http://127.0.0.1:{port}"
             health = json.load(
@@ -376,15 +381,15 @@ class TestServeCli:
             )
             feed = json.load(urllib.request.urlopen(request, timeout=30))
             assert feed["id"] == "sim"
-            deadline = time.monotonic() + 60
-            while True:
+            def _feed_settled():
                 info = json.load(
                     urllib.request.urlopen(base + "/feeds/sim", timeout=10)
                 )
-                if info["state"] != "running":
-                    break
-                assert time.monotonic() < deadline, "scenario never finished"
-                time.sleep(0.05)
+                return info if info["state"] != "running" else None
+
+            info = wait_until(
+                _feed_settled, timeout_s=60, message="scenario never finished"
+            )
             assert info["state"] == "closed"
             report = json.load(
                 urllib.request.urlopen(base + "/feeds/sim/report", timeout=10)

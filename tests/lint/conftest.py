@@ -1,0 +1,39 @@
+"""Fixture-tree harness for the analyzer's self-tests.
+
+``lint_tree`` builds a throwaway repository root (pyproject.toml
+marker plus whatever files the test writes at scoped paths like
+``src/repro/sim/foo.py``) and runs :func:`repro.lint.run_lint` over
+it — so every rule is exercised against code *placed where the rule
+applies* and against the same code placed outside its scope.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+
+class LintTree:
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        (root / "pyproject.toml").write_text("[project]\nname='fixture'\n")
+
+    def write(self, rel: str, source: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+    def lint(self, **kwargs):
+        return run_lint(self.root, **kwargs)
+
+    def rules_found(self, **kwargs) -> list[str]:
+        return [f.rule for f in self.lint(**kwargs).findings]
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    return LintTree(tmp_path)

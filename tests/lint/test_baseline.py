@@ -1,0 +1,72 @@
+"""The ratcheting baseline: loading, writing, comparing, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BaselineError,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+
+
+class TestLoadWrite:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "b.json"
+        write_baseline(path, {"rule:a.py": 2, "rule:b.py": 1})
+        assert load_baseline(path) == {"rule:a.py": 2, "rule:b.py": 1}
+
+    def test_write_is_deterministic_and_drops_zeros(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(a, {"z": 1, "a": 2, "gone": 0})
+        write_baseline(b, {"a": 2, "gone": 0, "z": 1})
+        assert a.read_bytes() == b.read_bytes()
+        assert load_baseline(a) == {"a": 2, "z": 1}
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="corrupt"):
+            load_baseline(path)
+
+    def test_wrong_shape_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"counts": {"k": -1}}))
+        with pytest.raises(BaselineError, match="positive integers"):
+            load_baseline(path)
+        path.write_text(json.dumps([1, 2]))
+        with pytest.raises(BaselineError, match="'counts' mapping"):
+            load_baseline(path)
+
+
+class TestRatchet:
+    def test_equal_counts_ok(self):
+        delta = compare({"k": 2}, {"k": 2})
+        assert delta.ok and not delta.new and not delta.improved
+
+    def test_new_finding_fails(self):
+        delta = compare({"k": 3}, {"k": 2})
+        assert not delta.ok
+        assert delta.new == {"k": (3, 2)}
+
+    def test_brand_new_key_fails(self):
+        delta = compare({"k": 1}, {})
+        assert not delta.ok
+
+    def test_improvement_noted_not_failed(self):
+        delta = compare({"k": 1}, {"k": 2, "fixed": 1})
+        assert delta.ok
+        assert delta.improved == {"k": (1, 2), "fixed": (0, 1)}
+
+    def test_grandfathered_count_may_move_between_lines(self):
+        # keys are rule:path, not line numbers: refactoring a file
+        # never reads as a new finding while the count holds.
+        delta = compare({"det-wall-clock:a.py": 1}, {"det-wall-clock:a.py": 1})
+        assert delta.ok

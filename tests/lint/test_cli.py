@@ -1,0 +1,166 @@
+"""CLI semantics: exit codes, formats, and the CI gate behaviour.
+
+``python -m repro.lint`` and ``repro lint`` share one implementation;
+these tests drive it through both front doors.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cli import main as lint_main
+
+CLEAN = "def fine():\n    return 1\n"
+DIRTY = "import time\n\ndef stamp():\n    return time.time()\n"
+
+
+@pytest.fixture
+def fixture_root(lint_tree):
+    return lint_tree
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/foo.py", CLEAN)
+        assert lint_main(["--root", str(fixture_root.root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/foo.py", DIRTY)
+        assert lint_main(["--root", str(fixture_root.root)]) == 1
+        out = capsys.readouterr().out
+        assert "det-wall-clock" in out and "[error]" in out
+
+    def test_missing_root_dir_is_usage_error(self, tmp_path, capsys):
+        assert lint_main(["--root", str(tmp_path / "nowhere")]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_no_pyproject_above_cwd_is_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main([]) == 2
+        assert "pyproject.toml" in capsys.readouterr().err
+
+    def test_bad_select_is_usage_error(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/foo.py", CLEAN)
+        rc = lint_main(
+            ["--root", str(fixture_root.root), "--select", "det-wall-clok"]
+        )
+        assert rc == 2
+        assert "did you mean 'det-wall-clock'" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_usage_error(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/foo.py", CLEAN)
+        (fixture_root.root / "lint-baseline.json").write_text("{nope")
+        rc = lint_main(["--root", str(fixture_root.root), "--baseline"])
+        assert rc == 2
+
+
+class TestBaselineGate:
+    """The ratchet exactly as the CI ``lint-gate`` job runs it."""
+
+    def _gate(self, root):
+        return lint_main(["--root", str(root), "--baseline"])
+
+    def test_grandfathered_finding_passes_then_injected_one_fails(
+        self, fixture_root, capsys
+    ):
+        fixture_root.write("src/repro/sim/known.py", DIRTY)
+        assert (
+            lint_main(
+                ["--root", str(fixture_root.root), "--write-baseline"]
+            )
+            == 0
+        )
+        assert self._gate(fixture_root.root) == 0
+        assert "(grandfathered)" in capsys.readouterr().out
+
+        # inject a fresh violation: the gate must go red
+        fixture_root.write("src/repro/sim/injected.py", DIRTY)
+        assert self._gate(fixture_root.root) == 1
+        assert "(NEW)" in capsys.readouterr().out
+
+    def test_growing_a_grandfathered_file_fails(self, fixture_root):
+        fixture_root.write("src/repro/sim/known.py", DIRTY)
+        lint_main(["--root", str(fixture_root.root), "--write-baseline"])
+        fixture_root.write(
+            "src/repro/sim/known.py", DIRTY + "\nalso = time.time()\n"
+        )
+        assert self._gate(fixture_root.root) == 1
+
+    def test_fixing_a_finding_passes_and_suggests_ratchet(
+        self, fixture_root, capsys
+    ):
+        fixture_root.write("src/repro/sim/known.py", DIRTY)
+        lint_main(["--root", str(fixture_root.root), "--write-baseline"])
+        fixture_root.write("src/repro/sim/known.py", CLEAN)
+        assert self._gate(fixture_root.root) == 0
+        assert "--write-baseline" in capsys.readouterr().out
+
+    def test_write_baseline_then_gate_is_always_green(self, fixture_root):
+        fixture_root.write("src/repro/sim/a.py", DIRTY)
+        fixture_root.write("src/repro/serve/b.py", "async def f():\n    open('x')\n")
+        lint_main(["--root", str(fixture_root.root), "--write-baseline"])
+        assert self._gate(fixture_root.root) == 0
+
+
+class TestOutput:
+    def test_json_format_is_machine_readable(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/foo.py", DIRTY)
+        rc = lint_main(
+            ["--root", str(fixture_root.root), "--format", "json", "--baseline"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["ok"] is False
+        assert payload["new"] == ["det-wall-clock:src/repro/sim/foo.py"]
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "det-wall-clock"
+        assert finding["path"] == "src/repro/sim/foo.py"
+
+    def test_list_rules_prints_catalog(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("det-wall-clock", "async-open", "proto-op-unknown",
+                        "test-sleep", "sock-no-timeout", "exc-bare"):
+            assert rule_id in out
+
+    def test_paths_argument_narrows_the_scan(self, fixture_root, capsys):
+        fixture_root.write("src/repro/sim/dirty.py", DIRTY)
+        fixture_root.write("src/repro/sim/clean.py", CLEAN)
+        rc = lint_main(
+            ["--root", str(fixture_root.root), "src/repro/sim/clean.py"]
+        )
+        assert rc == 0
+
+
+class TestToolsIntegration:
+    def test_repro_lint_verb_routes_here(self, fixture_root, capsys):
+        from repro.tools import main as tools_main
+
+        fixture_root.write("src/repro/sim/foo.py", DIRTY)
+        rc = tools_main(["lint", "--root", str(fixture_root.root)])
+        assert rc == 1
+        assert "det-wall-clock" in capsys.readouterr().out
+
+    def test_module_entry_is_dependency_free(self):
+        """``python -m repro.lint`` must not drag in numpy — it is the
+        form CI runs on a bare interpreter."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import repro.lint.cli\n"
+            "heavy = [m for m in ('numpy', 'tomllib') if m in sys.modules]\n"
+            "sys.exit(1 if heavy else 0)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+        )
+        assert proc.returncode == 0

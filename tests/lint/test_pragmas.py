@@ -1,0 +1,97 @@
+"""Suppression pragmas: parsing, coverage, and the meta-findings."""
+
+from __future__ import annotations
+
+from repro.lint import parse_pragmas
+
+
+class TestParsing:
+    def test_trailing_pragma_covers_its_own_line(self):
+        src = (
+            "import time\n"
+            "t = time.time()  # repro: lint-ok[det-wall-clock] status stamp only\n"
+        )
+        (pragma,) = parse_pragmas(src)
+        assert pragma.valid
+        assert pragma.rules == ("det-wall-clock",)
+        assert pragma.reason == "status stamp only"
+        assert not pragma.own_line
+        assert pragma.covers(2, "det-wall-clock")
+        assert not pragma.covers(3, "det-wall-clock")
+        assert not pragma.covers(2, "det-np-global")
+
+    def test_own_line_pragma_covers_next_line(self):
+        src = (
+            "# repro: lint-ok[test-sleep] warmup outside the timed region\n"
+            "time.sleep(1)\n"
+        )
+        (pragma,) = parse_pragmas(src)
+        assert pragma.own_line
+        assert pragma.covers(2, "test-sleep")
+
+    def test_multiple_rules_in_one_bracket(self):
+        src = "x()  # repro: lint-ok[async-open, async-sleep] startup, loop not live\n"
+        (pragma,) = parse_pragmas(src)
+        assert pragma.rules == ("async-open", "async-sleep")
+
+    def test_missing_bracket_is_malformed(self):
+        (pragma,) = parse_pragmas("x()  # repro: lint-ok because reasons\n")
+        assert not pragma.valid
+        assert any("missing [rule-id]" in p for p in pragma.problems)
+
+    def test_short_reason_is_malformed(self):
+        (pragma,) = parse_pragmas("x()  # repro: lint-ok[test-sleep] ok\n")
+        assert not pragma.valid
+        assert any("requires a reason" in p for p in pragma.problems)
+
+    def test_pragma_text_inside_string_literal_ignored(self):
+        src = 'doc = "example: # repro: lint-ok[test-sleep] not a pragma"\n'
+        assert parse_pragmas(src) == []
+
+
+class TestEngineIntegration:
+    def test_valid_pragma_suppresses_finding(self, lint_tree):
+        lint_tree.write(
+            "src/repro/sim/foo.py",
+            "import time\n"
+            "t = time.time()  # repro: lint-ok[det-wall-clock] operator display only\n",
+        )
+        assert lint_tree.rules_found() == []
+
+    def test_reasonless_pragma_does_not_suppress(self, lint_tree):
+        lint_tree.write(
+            "src/repro/sim/foo.py",
+            "import time\nt = time.time()  # repro: lint-ok[det-wall-clock]\n",
+        )
+        assert sorted(lint_tree.rules_found()) == [
+            "det-wall-clock", "pragma-malformed"
+        ]
+
+    def test_unknown_rule_id_gets_did_you_mean(self, lint_tree):
+        lint_tree.write(
+            "src/repro/foo.py",
+            "x = 1  # repro: lint-ok[det-wall-clok] a perfectly fine reason\n",
+        )
+        result = lint_tree.lint()
+        rules = sorted(f.rule for f in result.findings)
+        assert rules == ["pragma-unknown-rule", "pragma-unused"]
+        unknown = next(
+            f for f in result.findings if f.rule == "pragma-unknown-rule"
+        )
+        assert "did you mean 'det-wall-clock'" in unknown.message
+
+    def test_unused_pragma_is_a_finding(self, lint_tree):
+        lint_tree.write(
+            "src/repro/foo.py",
+            "x = 1  # repro: lint-ok[det-wall-clock] nothing here reads clocks\n",
+        )
+        assert lint_tree.rules_found() == ["pragma-unused"]
+
+    def test_pragma_for_other_rule_does_not_mask(self, lint_tree):
+        lint_tree.write(
+            "src/repro/sim/foo.py",
+            "import random  # repro: lint-ok[det-wall-clock] wrong rule entirely\n",
+        )
+        assert sorted(lint_tree.rules_found()) == [
+            "det-stdlib-random", "pragma-unused"
+        ]

@@ -1,0 +1,154 @@
+"""The protocol-schema project rule over multi-file fixture trees.
+
+The rule cross-checks the three protocol sources against the one
+registry (``src/repro/protocol_registry.py``) — these tests build
+miniature registries and protocol files at the real paths and drive
+typos, rogue magics, and declared-but-unused drift through it.
+"""
+
+from __future__ import annotations
+
+REGISTRY = """\
+DISPATCH_MAGIC = b"RPJ1"
+WIRE_MAGICS = {"RPJ1": "dispatch"}
+DISPATCH_OPS = {
+    "hello": "client greets",
+    "welcome": "server answers",
+    "lease": "client asks for work",
+}
+"""
+
+
+class TestProtocolRule:
+    def test_clean_vocabulary_passes(self, lint_tree):
+        lint_tree.write("src/repro/protocol_registry.py", REGISTRY)
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            """\
+            def handle(message):
+                op = message.get("op")
+                if op == "hello":
+                    return {"op": "welcome"}
+                if op == "lease":
+                    return {"op": "welcome"}
+                return None
+            """,
+        )
+        assert lint_tree.rules_found() == []
+
+    def test_op_typo_gets_did_you_mean(self, lint_tree):
+        lint_tree.write("src/repro/protocol_registry.py", REGISTRY)
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            """\
+            def handle(message):
+                if message.get("op") == "hello":
+                    return {"op": "welcome"}
+                return None
+            """,
+        )
+        lint_tree.write(
+            "src/repro/campaign/worker.py",
+            """\
+            def talk(channel):
+                reply = channel.request({"op": "helo"})
+                if reply.get("op") == "welcome":
+                    return channel.request({"op": "lease"})
+                return None
+            """,
+        )
+        result = lint_tree.lint()
+        assert [f.rule for f in result.findings] == ["proto-op-unknown"]
+        assert "did you mean 'hello'" in result.findings[0].message
+
+    def test_comparison_literals_checked_too(self, lint_tree):
+        lint_tree.write("src/repro/protocol_registry.py", REGISTRY)
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            """\
+            def handle(message):
+                op = message.get("op")
+                if op in ("hello", "leese"):
+                    return {"op": "welcome"}
+                if message.get("op") != "lease":
+                    return None
+                return {"op": "welcome"}
+            """,
+        )
+        result = lint_tree.lint()
+        assert [f.rule for f in result.findings] == ["proto-op-unknown"]
+        assert "'leese'" in result.findings[0].message
+
+    def test_rogue_magic_flagged(self, lint_tree):
+        lint_tree.write("src/repro/protocol_registry.py", REGISTRY)
+        lint_tree.write(
+            "src/repro/serve/protocol.py",
+            'BATCH_MAGIC = b"RPXX"\n',
+        )
+        result = lint_tree.lint()
+        # the rogue magic, plus the three ops now used by no file
+        rogue = [f for f in result.findings if f.rule == "proto-magic"]
+        assert len(rogue) == 1
+        assert rogue[0].path == "src/repro/serve/protocol.py"
+
+    def test_declared_but_unused_op_is_drift(self, lint_tree):
+        lint_tree.write("src/repro/protocol_registry.py", REGISTRY)
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            """\
+            def handle(message):
+                if message.get("op") == "hello":
+                    return {"op": "welcome"}
+                return None
+            """,
+        )
+        result = lint_tree.lint()
+        assert [f.rule for f in result.findings] == ["proto-op-unused"]
+        assert "'lease'" in result.findings[0].message
+        assert result.findings[0].path == "src/repro/protocol_registry.py"
+
+    def test_registry_magic_const_must_be_in_wire_magics(self, lint_tree):
+        lint_tree.write(
+            "src/repro/protocol_registry.py",
+            REGISTRY + 'STRAY_MAGIC = b"RPZ9"\n',
+        )
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            """\
+            def handle(message):
+                op = message.get("op")
+                if op == "hello" or op == "lease":
+                    return {"op": "welcome"}
+                return None
+            """,
+        )
+        result = lint_tree.lint()
+        assert [f.rule for f in result.findings] == ["proto-magic"]
+        assert "STRAY_MAGIC" in result.findings[0].message
+
+    def test_tree_without_registry_skips_silently(self, lint_tree):
+        lint_tree.write(
+            "src/repro/campaign/dispatch.py",
+            'def f():\n    return {"op": "anything-goes"}\n',
+        )
+        assert lint_tree.rules_found() == []
+
+
+class TestRealRepoVocabulary:
+    def test_registry_ops_match_the_wire(self):
+        """The runtime guard and the static rule read the same source
+        of truth."""
+        from repro.protocol_registry import DISPATCH_OPS, WIRE_MAGICS
+
+        assert {"hello", "welcome", "lease", "grant", "wait", "done",
+                "heartbeat", "ok", "gone", "complete", "fail", "bye",
+                "status", "error"} == set(DISPATCH_OPS)
+        assert set(WIRE_MAGICS) == {"RPJ1", "RPF1"}
+
+    def test_dispatch_and_serve_reexport_registry_magics(self):
+        from repro import protocol_registry
+        from repro.campaign import dispatch
+        from repro.serve import protocol
+
+        assert dispatch.DISPATCH_MAGIC is protocol_registry.DISPATCH_MAGIC
+        assert protocol.BATCH_MAGIC is protocol_registry.BATCH_MAGIC

@@ -1,0 +1,42 @@
+"""Deadline-bounded polling for tier-1 tests.
+
+Tests must not sleep for fixed intervals (the ``test-sleep`` lint
+rule): a fixed sleep is pure waste when the condition is already true
+and a flake when the machine is slow.  :func:`wait_until` polls a
+predicate under a hard deadline instead — fast on fast machines,
+patient on slow ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["wait_until"]
+
+
+def wait_until(
+    predicate: Callable[[], T],
+    *,
+    timeout_s: float = 60.0,
+    interval_s: float = 0.05,
+    message: str = "condition never became true",
+    on_tick: Callable[[], None] | None = None,
+) -> T:
+    """Poll ``predicate`` until it returns a truthy value, and return it.
+
+    ``on_tick`` (if given) runs before each poll — the place for
+    liveness assertions like "the daemon process is still up".  Raises
+    ``AssertionError`` with ``message`` once ``timeout_s`` elapses.
+    """
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if on_tick is not None:
+            on_tick()
+        value = predicate()
+        if value:
+            return value
+        assert time.monotonic() < deadline, message
+        time.sleep(interval_s)  # repro: lint-ok[test-sleep] the one sanctioned sleep: every test polls through this helper
