@@ -1,0 +1,190 @@
+"""End-to-end corpus smoke: generate → index → query → planned analysis.
+
+Drives the real CLI (``python -m repro.tools corpus``) the way CI's
+``corpus-smoke`` job does:
+
+1. generate ~50 small captures cycling the interchange containers
+   (pcap, pcap.gz, snoop, snoop.gz) across channels, hours and
+   subdirectories;
+2. ``corpus index`` and assert every capture is catalogued;
+3. ``corpus query`` a channel + time-window predicate and assert the
+   match count (derivable from the generation pattern);
+4. ``corpus analyze`` cold, asserting everything dispatches, then warm,
+   asserting **zero** captures dispatch;
+5. delete exactly one stored analysis (JSON record + report sidecar)
+   and re-run, asserting exactly one capture recomputes.
+
+Exits non-zero with a diagnostic on any violation.
+
+Usage::
+
+    python benchmarks/smoke_corpus.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+N_CAPTURES = 48  # divisible by the format/channel/hour cycles below
+SUFFIXES = (".pcap", ".pcap.gz", ".snoop", ".snoop.gz")
+CHANNELS = (1, 6, 11)
+
+_ANALYZE_RE = re.compile(
+    r"(?P<matched>\d+) matched, (?P<cached>\d+) cached, "
+    r"(?P<dispatched>\d+) dispatched, (?P<failed>\d+) failed"
+)
+
+
+def run_cli(repo: Path, *argv: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.tools", *argv],
+        cwd=repo,
+        env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"CLI {' '.join(argv)} failed ({result.returncode}):\n"
+            f"{result.stderr}"
+        )
+    return result.stdout
+
+
+def analyze_counts(output: str) -> dict[str, int]:
+    match = _ANALYZE_RE.search(output)
+    if match is None:
+        raise SystemExit(f"no analyze summary in output: {output!r}")
+    return {k: int(v) for k, v in match.groupdict().items()}
+
+
+def generate(root: Path) -> None:
+    from repro.frames import FrameRow, FrameType, Trace
+    from repro.pcap import write_trace
+
+    for i in range(N_CAPTURES):
+        channel = CHANNELS[i % len(CHANNELS)]
+        hour = i % 24
+        t0 = (hour * 3_600 + i) * 1_000_000
+        rows = []
+        for pair in range(5):
+            t = t0 + pair * 10_000
+            rows.append(
+                FrameRow(
+                    time_us=t, ftype=FrameType.DATA, rate_mbps=11.0,
+                    size=1000, src=10, dst=1, seq=pair, channel=channel,
+                    snr_db=25.0,
+                )
+            )
+            rows.append(
+                FrameRow(
+                    time_us=t + 1_400, ftype=FrameType.ACK, rate_mbps=1.0,
+                    size=14, src=1, dst=10, channel=channel,
+                )
+            )
+        suffix = SUFFIXES[i % len(SUFFIXES)]
+        target = root / f"day{i % 4}" / f"capture-{i:02d}{suffix}"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        write_trace(Trace.from_rows(rows), target)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workdir", default=None, help="scratch directory (default: temp)"
+    )
+    args = parser.parse_args()
+    repo = Path(__file__).resolve().parent.parent
+    workdir = Path(args.workdir) if args.workdir else Path(tempfile.mkdtemp())
+    corpus = workdir / "corpus"
+    if corpus.exists():
+        shutil.rmtree(corpus)
+    corpus.mkdir(parents=True)
+    generate(corpus)
+
+    t0 = time.perf_counter()
+    indexed = run_cli(repo, "corpus", "index", str(corpus))
+    index_s = time.perf_counter() - t0
+    if f"{N_CAPTURES} capture(s) catalogued" not in indexed:
+        raise SystemExit(f"index did not catalog {N_CAPTURES}: {indexed!r}")
+
+    # Channel 6 is every i % 3 == 1 → 16 of 48; snoop-format captures
+    # are the odd suffixes → half of those.
+    queried = run_cli(
+        repo, "corpus", "query", str(corpus), "--where", "channel=6"
+    )
+    if not queried.strip().endswith("16 matched"):
+        raise SystemExit(f"channel query miscounted:\n{queried}")
+    windowed = run_cli(
+        repo, "corpus", "query", str(corpus),
+        "--where", "overlaps=13:00-14:00",
+    )
+    if not windowed.strip().endswith("2 matched"):  # hours 13 and 37%24=13
+        raise SystemExit(f"window query miscounted:\n{windowed}")
+
+    t0 = time.perf_counter()
+    cold = analyze_counts(
+        run_cli(repo, "corpus", "analyze", str(corpus), "--workers", "2")
+    )
+    cold_s = time.perf_counter() - t0
+    if cold != {
+        "matched": N_CAPTURES, "cached": 0,
+        "dispatched": N_CAPTURES, "failed": 0,
+    }:
+        raise SystemExit(f"cold analyze counts wrong: {cold}")
+
+    t0 = time.perf_counter()
+    warm = analyze_counts(
+        run_cli(repo, "corpus", "analyze", str(corpus), "--workers", "2")
+    )
+    warm_s = time.perf_counter() - t0
+    if warm != {
+        "matched": N_CAPTURES, "cached": N_CAPTURES,
+        "dispatched": 0, "failed": 0,
+    }:
+        raise SystemExit(f"warm analyze still dispatched work: {warm}")
+
+    # Delete exactly one stored analysis (record + sidecar): the next
+    # run must recompute exactly that one capture.
+    store_dir = corpus / ".repro-corpus" / "analyses"
+    records = sorted(store_dir.glob("*/*.json"))
+    if len(records) != N_CAPTURES:
+        raise SystemExit(
+            f"expected {N_CAPTURES} analysis records, found {len(records)}"
+        )
+    victim = records[N_CAPTURES // 2]
+    victim.unlink()
+    sidecar = victim.with_name(
+        victim.name[: -len(".json")] + ".report.pkl.gz"
+    )
+    sidecar.unlink()
+
+    resumed = analyze_counts(
+        run_cli(repo, "corpus", "analyze", str(corpus), "--workers", "2")
+    )
+    if resumed != {
+        "matched": N_CAPTURES, "cached": N_CAPTURES - 1,
+        "dispatched": 1, "failed": 0,
+    }:
+        raise SystemExit(f"did not recompute exactly one capture: {resumed}")
+
+    print(
+        "corpus smoke OK: "
+        f"index {index_s:.1f}s ({N_CAPTURES} captures, 4 containers) | "
+        f"cold analyze {cold_s:.1f}s | warm {warm_s:.1f}s dispatched 0 | "
+        "dropped analysis recomputed exactly 1"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

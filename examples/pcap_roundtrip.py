@@ -1,18 +1,24 @@
 #!/usr/bin/env python
-"""Write a simulated capture to a real radiotap pcap and re-analyze it.
+"""Write a simulated capture to every interchange container and re-analyze.
 
 Demonstrates the byte-level interoperability path: the simulator's
-sniffer trace is serialised to a genuine pcap file (linktype 127,
-radiotap + 802.11 headers, the paper's 250-byte snap length), then
-both the live trace and the pcap file are streamed through the
-single-pass :mod:`repro.pipeline` — the pcap side straight from the
-file path, chunk by chunk.  The figure-level results must match the
-live trace exactly — the only information lost is what 802.11 itself
-does not put on the air (ACK/CTS transmitter addresses).
+sniffer trace is serialised to a genuine radiotap capture (linktype
+127, radiotap + 802.11 headers, the paper's 250-byte snap length) in
+each container ``write_trace`` routes by extension — classic pcap,
+gzipped pcap and RFC 1761 snoop — then the live trace and every file
+are streamed through the single-pass :mod:`repro.pipeline`, the file
+sides straight from their paths, chunk by chunk.  The figure-level
+results must match the live trace exactly, and the containers must
+match each other bit for bit — the only information lost is what
+802.11 itself does not put on the air (ACK/CTS transmitter
+addresses).
 
 Usage::
 
     python examples/pcap_roundtrip.py [output.pcap]
+
+The gzip and snoop variants are written next to ``output.pcap`` with
+swapped extensions.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.frames import TRACE_SCHEMA
 from repro.pcap import PAPER_SNAPLEN, read_trace, write_trace
 from repro.pipeline import run_all
 from repro.sim import ConstantRate, ScenarioConfig, run_scenario
@@ -29,6 +36,12 @@ from repro.sim import ConstantRate, ScenarioConfig, run_scenario
 
 def main() -> None:
     path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("capture.pcap")
+    stem = path.name[: -len(".pcap")] if path.name.endswith(".pcap") else path.name
+    variants = [
+        path,
+        path.with_name(f"{stem}.pcap.gz"),
+        path.with_name(f"{stem}.snoop"),
+    ]
 
     config = ScenarioConfig(
         n_stations=8,
@@ -41,42 +54,61 @@ def main() -> None:
     print(f"simulating {config.duration_s:.0f} s ...")
     result = run_scenario(config)
 
-    n = write_trace(result.trace, path, snaplen=PAPER_SNAPLEN)
-    size_kb = path.stat().st_size / 1024
-    print(f"wrote {n} frames to {path} ({size_kb:.0f} KiB, snaplen {PAPER_SNAPLEN})")
+    for target in variants:
+        n = write_trace(result.trace, target, snaplen=PAPER_SNAPLEN)
+        size_kb = target.stat().st_size / 1024
+        print(
+            f"wrote {n} frames to {target} "
+            f"({size_kb:.0f} KiB, snaplen {PAPER_SNAPLEN})"
+        )
 
-    loaded = read_trace(path)
-    print(f"read back {len(loaded)} frames")
+    # Interchange fidelity: every container decodes field-identically.
+    reference = read_trace(variants[0])
+    print(f"read back {len(reference)} frames")
+    for target in variants[1:]:
+        decoded = read_trace(target)
+        for name, _ in TRACE_SCHEMA:
+            assert np.array_equal(
+                decoded.column(name), reference.column(name)
+            ), f"{target}: column {name!r} differs from pcap"
+        print(f"{target}: field-identical to {variants[0]}")
 
     live = run_all(result.trace, name="live")
-    from_file = run_all(path, name="pcap")  # streamed straight from disk
-
-    checks = {
-        "frames": (live.summary.n_frames, from_file.summary.n_frames),
-        "data frames": (live.summary.n_data, from_file.summary.n_data),
-        "utilization mode %": (
-            round(live.utilization.mode_percent(), 1),
-            round(from_file.utilization.mode_percent(), 1),
-        ),
-        "peak throughput Mbps": (
-            round(live.throughput.peak()[1], 4),
-            round(from_file.throughput.peak()[1], 4),
-        ),
-        "unrecorded %": (
-            round(live.unrecorded.unrecorded_percent, 2),
-            round(from_file.unrecorded.unrecorded_percent, 2),
-        ),
+    analyzed = {  # each streamed straight from disk
+        target.name: run_all(target, name=target.name) for target in variants
     }
-    print()
-    print(f"{'metric':24s} {'live':>12s} {'from pcap':>12s}")
-    for name, (a, b) in checks.items():
-        marker = "ok" if a == b else "MISMATCH"
-        print(f"{name:24s} {a!s:>12s} {b!s:>12s}  {marker}")
 
-    assert np.allclose(
-        live.utilization.percent, from_file.utilization.percent
-    ), "utilization mismatch after pcap round trip"
-    print("\nround trip preserved every figure-level quantity.")
+    print()
+    header = f"{'metric':24s} {'live':>12s}"
+    for name in analyzed:
+        header += f" {name[-12:]:>12s}"
+    print(header)
+
+    def metrics(report):
+        return {
+            "frames": report.summary.n_frames,
+            "data frames": report.summary.n_data,
+            "utilization mode %": round(report.utilization.mode_percent(), 1),
+            "peak throughput Mbps": round(report.throughput.peak()[1], 4),
+            "unrecorded %": round(report.unrecorded.unrecorded_percent, 2),
+        }
+
+    live_metrics = metrics(live)
+    file_metrics = {name: metrics(r) for name, r in analyzed.items()}
+    for metric, value in live_metrics.items():
+        row = f"{metric:24s} {value!s:>12s}"
+        ok = True
+        for name in analyzed:
+            got = file_metrics[name][metric]
+            ok = ok and got == value
+            row += f" {got!s:>12s}"
+        print(f"{row}  {'ok' if ok else 'MISMATCH'}")
+
+    for name, report in analyzed.items():
+        assert np.allclose(
+            live.utilization.percent, report.utilization.percent
+        ), f"utilization mismatch after {name} round trip"
+    print("\nevery container preserved every figure-level quantity.")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,8 @@ Subpackages
                     with the named scenario library.
 ``repro.campaign``  parameter-grid sweeps: process pool + resumable
                     content-addressed store.
+``repro.corpus``    capture library: snoop/gzip interchange,
+                    content-addressed catalog, query-planned batches.
 ``repro.frames``    802.11 frame model and columnar trace container.
 ``repro.pcap``      pcap + radiotap + 802.11 header codec.
 ``repro.analysis``  numpy columnar tables, binning, knee detection.
@@ -56,6 +58,8 @@ _EXPORTS = {
     "ParameterGrid": "repro.campaign",
     "render_campaign": "repro.campaign",
     "run_campaign": "repro.campaign",
+    "CorpusIndex": "repro.corpus",
+    "analyze_corpus": "repro.corpus",
     "analyze_trace": "repro.core",
     "render_report": "repro.core.render",
     "run_all": "repro.pipeline",
@@ -84,6 +88,7 @@ def __dir__() -> list:
 
 __all__ = [
     "CampaignStore",
+    "CorpusIndex",
     "Experiment",
     "ExperimentResult",
     "ExperimentSpec",
@@ -91,6 +96,7 @@ __all__ = [
     "ScenarioConfig",
     "SpecError",
     "__version__",
+    "analyze_corpus",
     "analyze_trace",
     "available_scenarios",
     "build_scenario",

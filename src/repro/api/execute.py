@@ -38,14 +38,24 @@ def grid_for(spec: ExperimentSpec):
 def _named_sources(spec: ExperimentSpec) -> list[tuple[str, str]]:
     """Display-name/path pairs for pcap analysis, names de-duplicated.
 
-    A single capture takes the spec's name as its report title;
-    repeated paths get ``#2``, ``#3``... suffixes because downstream
-    results are keyed by name.
+    Spec entries may be files, directories or glob patterns — expanded
+    deterministically (sorted) by :func:`repro.corpus.expand_captures`
+    before naming.  A single capture takes the spec's name as its
+    report title; repeated paths get ``#2``, ``#3``... suffixes
+    because downstream results are keyed by name.
     """
+    from ..corpus import CorpusError, expand_captures
+
+    try:
+        paths = [str(p) for p in expand_captures(spec.pcaps)]
+    except CorpusError as error:
+        from .spec import SpecError
+
+        raise SpecError(str(error)) from None
     sources: list[tuple[str, str]] = []
     used: set[str] = set()
-    for path in spec.pcaps:
-        base = spec.name or path if len(spec.pcaps) == 1 else path
+    for path in paths:
+        base = spec.name or path if len(paths) == 1 else path
         name, suffix = base, 2
         while name in used:
             name = f"{base}#{suffix}"
@@ -63,6 +73,37 @@ def _subset_item(job):
     return name, run_consumers(path, names, name=name, chunk_frames=chunk)
 
 
+def _execute_corpus(spec: ExperimentSpec) -> ExperimentResult:
+    """Corpus analysis specs: refresh, query, plan, dispatch the rest."""
+    from ..corpus import analyze_corpus
+
+    start = time.perf_counter()
+    analysis = analyze_corpus(
+        spec.corpus,
+        spec.corpus_where,
+        workers=spec.workers,
+        chunk_frames=spec.chunk_frames,
+    )
+    reports = {
+        path: analysis.reports[path] for path in sorted(analysis.reports)
+    }
+    sources = tuple(
+        (path, str(analysis.root / path))
+        for path in sorted({*analysis.reports, *analysis.failures})
+    )
+    failures = tuple(
+        analysis.failures[path] for path in sorted(analysis.failures)
+    )
+    return ExperimentResult(
+        spec,
+        "analysis",
+        reports=reports,
+        sources=sources,
+        failures=failures,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
 def _execute_analysis(spec: ExperimentSpec) -> ExperimentResult:
     from concurrent.futures import ProcessPoolExecutor
 
@@ -72,6 +113,8 @@ def _execute_analysis(spec: ExperimentSpec) -> ExperimentResult:
         run_batch,
     )
 
+    if spec.corpus is not None:
+        return _execute_corpus(spec)
     sources = _named_sources(spec)
     chunk = spec.chunk_frames or DEFAULT_CHUNK_FRAMES
     start = time.perf_counter()

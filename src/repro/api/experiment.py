@@ -81,6 +81,25 @@ class Experiment:
     pcap = pcaps
 
     @classmethod
+    def corpus(cls, root: str | Path, where: str | None = None) -> "Experiment":
+        """Start from an indexed capture corpus (see :mod:`repro.corpus`).
+
+        ``where`` filters the catalog (``"channel=6 frames>10k"``);
+        analysis is query-planned — already-stored reports are served
+        without dispatch.
+        """
+        return cls(ExperimentSpec(corpus=str(root), corpus_where=where))
+
+    def where(self, query: str) -> "Experiment":
+        """Replace the corpus query (corpus experiments only)."""
+        if self._spec.corpus is None:
+            raise SpecError(
+                "where() applies to corpus experiments — start with "
+                "Experiment.corpus(root)"
+            )
+        return self._replace(corpus_where=query)
+
+    @classmethod
     def from_spec(
         cls, source: "ExperimentSpec | Mapping | str | Path"
     ) -> "Experiment":
@@ -240,8 +259,12 @@ class Experiment:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         spec = self._spec
-        source = spec.scenario or (f"{len(spec.pcaps)} pcap(s)" if spec.pcaps else "?")
-        return f"<Experiment {spec.mode if spec.scenario or spec.pcaps else 'empty'}: {source}>"
+        source = spec.scenario or (
+            f"corpus {spec.corpus}" if spec.corpus is not None
+            else f"{len(spec.pcaps)} pcap(s)" if spec.pcaps else "?"
+        )
+        has_source = spec.scenario or spec.pcaps or spec.corpus is not None
+        return f"<Experiment {spec.mode if has_source else 'empty'}: {source}>"
 
 
 def run_spec(

@@ -25,7 +25,10 @@ A spec file is at most four tables::
     workers = 4
 
 ``scenario`` names a library scenario (``repro.sim.available_scenarios``);
-``pcaps = ["a.pcap", ...]`` analyzes captures instead.  ``[params]``
+``pcaps = ["a.pcap", ...]`` analyzes captures instead (entries may be
+files, directories or glob patterns, expanded deterministically), and
+``pcaps = {corpus = "captures/", where = "channel=6"}`` analyzes an
+indexed corpus through the query planner.  ``[params]``
 fixes scenario parameters for every cell, ``[vary]`` declares sweep
 axes, ``seeds`` multiplies the grid, and ``[run]`` holds execution
 options (workers, chunk_frames, store, resume, retry_failed,
@@ -101,6 +104,8 @@ class ExperimentSpec:
 
     scenario: str | None = None
     pcaps: tuple[str, ...] = ()
+    corpus: str | None = None
+    corpus_where: str | None = None
     name: str | None = None
     params: tuple[tuple[str, object], ...] = ()
     vary: tuple[tuple[str, tuple[object, ...]], ...] = ()
@@ -146,6 +151,33 @@ class ExperimentSpec:
         fidelity = typed("fidelity", str, "a fidelity mode string")
 
         pcaps_raw = data.get("pcaps", ())
+        corpus: str | None = None
+        corpus_where: str | None = None
+        if isinstance(pcaps_raw, Mapping):
+            for key in pcaps_raw:
+                if key not in ("corpus", "where"):
+                    raise _err(
+                        unknown_name_message(
+                            "pcaps key", str(key), ("corpus", "where")
+                        ),
+                        source,
+                    )
+            corpus_raw = pcaps_raw.get("corpus")
+            if not isinstance(corpus_raw, (str, Path)):
+                raise _err(
+                    f"pcaps 'corpus' must be a directory path, "
+                    f"got {corpus_raw!r}",
+                    source,
+                )
+            corpus = str(corpus_raw)
+            where_raw = pcaps_raw.get("where")
+            if where_raw is not None and not isinstance(where_raw, str):
+                raise _err(
+                    f"pcaps 'where' must be a query string, got {where_raw!r}",
+                    source,
+                )
+            corpus_where = where_raw
+            pcaps_raw = ()
         if isinstance(pcaps_raw, (str, Path)):
             pcaps_raw = [pcaps_raw]
         if not isinstance(pcaps_raw, Sequence) or not all(
@@ -210,6 +242,8 @@ class ExperimentSpec:
         return cls(
             scenario=scenario,
             pcaps=pcaps,
+            corpus=corpus,
+            corpus_where=corpus_where,
             name=name,
             params=tuple((str(k), v) for k, v in params_raw.items()),
             vary=tuple(vary),
@@ -273,6 +307,11 @@ class ExperimentSpec:
             out["scenario"] = self.scenario
         if self.pcaps:
             out["pcaps"] = list(self.pcaps)
+        if self.corpus is not None:
+            corpus_table: dict[str, object] = {"corpus": self.corpus}
+            if self.corpus_where is not None:
+                corpus_table["where"] = self.corpus_where
+            out["pcaps"] = corpus_table
         if self.seeds is not None:
             out["seeds"] = (
                 self.seeds if isinstance(self.seeds, int) else list(self.seeds)
@@ -333,8 +372,8 @@ class ExperimentSpec:
 
     @property
     def mode(self) -> str:
-        """``'analysis'`` (pcaps), ``'campaign'`` (vary/seeds) or ``'single'``."""
-        if self.pcaps:
+        """``'analysis'`` (pcaps/corpus), ``'campaign'`` (vary/seeds) or ``'single'``."""
+        if self.pcaps or self.corpus is not None:
             return "analysis"
         if self.vary or self.seeds is not None:
             return "campaign"
@@ -350,20 +389,43 @@ class ExperimentSpec:
         from ..pipeline import resolve_consumer_names
         from ..sim import UnknownParameterError, validate_scenario_params
 
-        if self.scenario is not None and self.pcaps:
+        analysis_source = bool(self.pcaps) or self.corpus is not None
+        if self.pcaps and self.corpus is not None:
+            raise SpecError(
+                "give either a 'pcaps' list or a corpus table, not both"
+            )
+        if self.scenario is not None and analysis_source:
             raise SpecError("give either 'scenario' or 'pcaps', not both")
-        if self.scenario is None and not self.pcaps:
+        if self.scenario is None and not analysis_source:
             raise SpecError("spec needs a source: a 'scenario' name or 'pcaps'")
-        if self.pcaps and (self.vary or self.params or self.seeds is not None):
+        if analysis_source and (
+            self.vary or self.params or self.seeds is not None
+        ):
             raise SpecError(
                 "'params'/'vary'/'seeds' apply to scenario experiments, "
                 "not pcap analysis"
             )
-        if self.pcaps and self.fidelity is not None:
+        if analysis_source and self.fidelity is not None:
             raise SpecError(
                 "'fidelity' selects a simulation engine — it does not "
                 "apply to pcap analysis"
             )
+        if self.corpus_where is not None and self.corpus is None:
+            raise SpecError("'where' needs a corpus (pcaps = {corpus = ...})")
+        if self.corpus is not None:
+            from ..corpus import CorpusError, parse_query
+
+            if self.analyses:
+                raise SpecError(
+                    "'analyses' subsets are not supported with a corpus — "
+                    "stored corpus reports are always complete"
+                )
+            if not Path(self.corpus).is_dir():
+                raise SpecError(f"corpus not found: {self.corpus}")
+            try:
+                parse_query(self.corpus_where)
+            except CorpusError as error:
+                raise SpecError(f"bad corpus query: {error}") from None
         if self.fidelity is not None:
             from ..sim import FIDELITY_MODES
 
@@ -371,9 +433,16 @@ class ExperimentSpec:
                 raise SpecError(
                     unknown_name_message("fidelity", self.fidelity, FIDELITY_MODES)
                 )
-        for pcap in self.pcaps:
-            if not Path(pcap).is_file():
-                raise SpecError(f"pcap not found: {pcap}")
+        if self.pcaps:
+            # Entries may be files, directories or glob patterns;
+            # expansion is deterministic and "nothing matched" is a
+            # clean error, not a traceback.
+            from ..corpus import CorpusError, expand_captures
+
+            try:
+                expand_captures(self.pcaps)
+            except CorpusError as error:
+                raise SpecError(str(error)) from None
         if self.scenario is not None:
             overlap = {k for k, _ in self.params} & {k for k, _ in self.vary}
             if overlap:
@@ -442,7 +511,8 @@ def load_spec(path: str | Path) -> ExperimentSpec:
     return ExperimentSpec.from_file(path)
 
 
-# Sanity: the dataclass and the file format stay in sync.
+# Sanity: the dataclass and the file format stay in sync.  The corpus
+# pair rides inside the 'pcaps' table on disk, hence the explicit add.
 assert {f.name for f in fields(ExperimentSpec)} == (
     set(_TOP_KEYS) - {"params", "vary", "run"}
-) | {"params", "vary"} | set(_RUN_KEYS)
+) | {"params", "vary"} | set(_RUN_KEYS) | {"corpus", "corpus_where"}

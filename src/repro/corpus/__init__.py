@@ -1,0 +1,63 @@
+"""Trace corpus: capture interchange, catalog, queries and planning.
+
+The paper's analyses ran over real capture *libraries* — multi-sniffer,
+multi-day, mixed formats — not single files.  This package makes that
+the unit of work:
+
+* :mod:`~repro.corpus.snoop` — RFC 1761 snoop interchange sharing the
+  pcap layer's packet codecs (plus gzip streaming on both containers);
+* :mod:`~repro.corpus.formats` — the capture-format registry and
+  content sniffing;
+* :mod:`~repro.corpus.paths` — deterministic capture discovery
+  (directories, globs);
+* :mod:`~repro.corpus.index` — the content-addressed on-disk catalog;
+* :mod:`~repro.corpus.query` — predicates answered from the catalog
+  without opening capture files;
+* :mod:`~repro.corpus.plan` — query-planned, cache-skipping,
+  largest-first batch analysis.
+"""
+
+from .formats import CAPTURE_FORMATS, CaptureFormat, capture_suffixes, detect_format
+from .index import CaptureRecord, CorpusIndex, RefreshStats
+from .paths import CorpusError, expand_captures, iter_capture_files
+from .plan import (
+    AnalysisStore,
+    CorpusAnalysis,
+    analysis_key,
+    analyze_corpus,
+    plan_analysis,
+)
+from .query import Query, filter_records, parse_query
+from .snoop import (
+    SnoopDatalinkType,
+    TruncatedSnoopError,
+    read_snoop,
+    read_snoop_batches,
+    write_snoop,
+)
+
+__all__ = [
+    "CAPTURE_FORMATS",
+    "CaptureFormat",
+    "capture_suffixes",
+    "detect_format",
+    "CaptureRecord",
+    "CorpusIndex",
+    "RefreshStats",
+    "CorpusError",
+    "expand_captures",
+    "iter_capture_files",
+    "AnalysisStore",
+    "CorpusAnalysis",
+    "analysis_key",
+    "analyze_corpus",
+    "plan_analysis",
+    "Query",
+    "filter_records",
+    "parse_query",
+    "SnoopDatalinkType",
+    "TruncatedSnoopError",
+    "read_snoop",
+    "read_snoop_batches",
+    "write_snoop",
+]

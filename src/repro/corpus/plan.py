@@ -1,0 +1,291 @@
+"""Query-planned batch analysis over an indexed corpus.
+
+The planner turns "analyze everything matching this query" into the
+smallest possible :func:`repro.pipeline.run_batch` call:
+
+* captures whose ``(content hash, consumer set, code salt)`` already
+  has a stored report are **skipped** — their report is served from the
+  analysis store, so a warm re-run dispatches zero work (the same
+  content-addressing trick :class:`repro.campaign.CampaignStore` uses
+  for simulation cells, including the code-version salt that
+  invalidates results when the analysis source changes);
+* the remainder is dispatched **largest file first**, so the process
+  pool never ends a run idling on one straggler that happened to sort
+  last (classic LPT scheduling; ``run_batch``'s pool preserves
+  submission order).
+
+Stored reports live next to the capture catalog under
+``<root>/.repro-corpus/analyses/`` — a JSON record (the commit point)
+plus a gzip-pickled report sidecar per key, both written atomically.
+Failures are deliberately **not** stored: a truncated download fixed
+in place, or a flaky worker, retries on the next run.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..campaign.store import CampaignStore, _canonical, code_version_salt
+from ..core.report import CongestionReport
+from ..core.timing import DOT11B_TIMING, TimingParameters
+from .index import INDEX_DIRNAME, CaptureRecord, CorpusIndex
+from .query import Query, filter_records
+
+__all__ = [
+    "ANALYSIS_FORMAT",
+    "analysis_key",
+    "AnalysisStore",
+    "AnalysisPlan",
+    "plan_analysis",
+    "CorpusAnalysis",
+    "analyze_corpus",
+]
+
+ANALYSIS_FORMAT = 1
+
+#: The consumer set a full-report corpus run computes.  Corpus analysis
+#: always stores complete :class:`CongestionReport`s (subsets would
+#: fragment the cache); the tuple still participates in the key so a
+#: future subset mode cannot collide with full reports.
+REPORT_CONSUMERS = ("report",)
+
+
+def analysis_key(
+    content_hash: str,
+    *,
+    consumers: tuple[str, ...] = REPORT_CONSUMERS,
+    timing: TimingParameters = DOT11B_TIMING,
+    min_count: int = 1,
+    salt: str | None = None,
+) -> str:
+    """Content-addressed key for one capture's stored analysis.
+
+    Everything that can change the report participates: the capture's
+    content hash, the consumer set, the timing parameters, the minimum
+    sample count, and the code-version salt.
+    """
+    payload = {
+        "capture": content_hash,
+        "consumers": list(consumers),
+        "timing": _canonical(timing),
+        "min_count": min_count,
+        "salt": salt if salt is not None else code_version_salt(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class AnalysisStore:
+    """Stored per-capture reports under ``<root>/.repro-corpus/analyses``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.store_dir = self.root / INDEX_DIRNAME / "analyses"
+
+    def _record_path(self, key: str) -> Path:
+        return self.store_dir / key[:2] / f"{key}.json"
+
+    def _report_path(self, key: str) -> Path:
+        return self.store_dir / key[:2] / f"{key}.report.pkl.gz"
+
+    def get(self, key: str) -> CongestionReport | None:
+        """The stored report for ``key``, or None (recompute)."""
+        payload = CampaignStore._read_json(self._record_path(key))
+        if payload is None or payload.get("kind") != "analysis":
+            return None
+        try:
+            with gzip.open(self._report_path(key), "rb") as fp:
+                report = pickle.load(fp)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            return None
+        return report if isinstance(report, CongestionReport) else None
+
+    def put(
+        self, key: str, content_hash: str, path: str, report: CongestionReport
+    ) -> None:
+        """Store ``report``; the JSON record is the commit point."""
+        report_path = self._report_path(key)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=report_path.parent, prefix=report_path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as raw, gzip.GzipFile(
+                filename="", fileobj=raw, mode="wb", mtime=0
+            ) as zipped:
+                pickle.dump(report, zipped, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, report_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        CampaignStore._atomic_write_json(
+            self._record_path(key),
+            {
+                "format": ANALYSIS_FORMAT,
+                "kind": "analysis",
+                "key": key,
+                "capture": content_hash,
+                "path": path,
+            },
+        )
+
+    def drop(self, key: str) -> None:
+        for path in (self._record_path(key), self._report_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+
+@dataclass(frozen=True)
+class AnalysisPlan:
+    """What a corpus analysis will and will not dispatch."""
+
+    #: (record, key, stored report) — served without dispatch.
+    cached: tuple[tuple[CaptureRecord, str, CongestionReport], ...]
+    #: (record, key) — dispatched, largest capture first.
+    to_run: tuple[tuple[CaptureRecord, str], ...]
+    #: path → status for matched records that cannot be analyzed.
+    skipped: dict[str, str]
+
+
+def plan_analysis(
+    store: AnalysisStore,
+    records: list[CaptureRecord],
+    *,
+    timing: TimingParameters = DOT11B_TIMING,
+    min_count: int = 1,
+    salt: str | None = None,
+) -> AnalysisPlan:
+    """Partition matched records into cached / to-run / skipped."""
+    resolved_salt = salt if salt is not None else code_version_salt()
+    cached: list[tuple[CaptureRecord, str, CongestionReport]] = []
+    to_run: list[tuple[CaptureRecord, str]] = []
+    skipped: dict[str, str] = {}
+    for record in records:
+        if record.status != "ok":
+            skipped[record.path] = record.status
+            continue
+        key = analysis_key(
+            record.content_hash,
+            timing=timing,
+            min_count=min_count,
+            salt=resolved_salt,
+        )
+        report = store.get(key)
+        if report is not None:
+            cached.append((record, key, report))
+        else:
+            to_run.append((record, key))
+    to_run.sort(key=lambda item: (-item[0].byte_size, item[0].path))
+    return AnalysisPlan(
+        cached=tuple(cached), to_run=tuple(to_run), skipped=skipped
+    )
+
+
+@dataclass(frozen=True)
+class CorpusAnalysis:
+    """The outcome of one query-planned corpus analysis."""
+
+    root: Path
+    where: str
+    matched: int  # records the query selected
+    cached: int  # served from the analysis store
+    dispatched: int  # actually analyzed this run
+    reports: dict[str, CongestionReport]  # path → report (cached + fresh)
+    failures: dict = field(default_factory=dict)  # path → FailedAnalysis
+    skipped: dict[str, str] = field(default_factory=dict)  # path → status
+
+    @property
+    def results(self) -> dict:
+        """Reports and failures merged, in sorted path order."""
+        merged: dict = {**self.reports, **self.failures}
+        return {path: merged[path] for path in sorted(merged)}
+
+
+def analyze_corpus(
+    root: str | Path,
+    where: str | Query | None = None,
+    *,
+    workers: int | None = None,
+    chunk_frames: int | None = None,
+    timing: TimingParameters = DOT11B_TIMING,
+    min_count: int = 1,
+    refresh: bool = True,
+    verify: bool = False,
+    salt: str | None = None,
+    on_error: str = "capture",
+) -> CorpusAnalysis:
+    """Analyze every catalogued capture matching ``where``.
+
+    Refreshes the index (unless ``refresh=False``), filters records
+    with the query, serves already-stored reports, and dispatches only
+    the remainder through :func:`repro.pipeline.run_batch` —
+    largest capture first.  Fresh reports are stored and noted on the
+    capture records, so an immediately repeated call dispatches
+    nothing.
+    """
+    from ..pipeline import DEFAULT_CHUNK_FRAMES, FailedAnalysis, run_batch
+
+    index = CorpusIndex(root)
+    if refresh:
+        index.refresh(verify=verify)
+    records = filter_records(index.records().values(), where)
+    store = AnalysisStore(index.root)
+    resolved_salt = salt if salt is not None else code_version_salt()
+    plan = plan_analysis(
+        store,
+        records,
+        timing=timing,
+        min_count=min_count,
+        salt=resolved_salt,
+    )
+
+    reports = {record.path: report for record, _, report in plan.cached}
+    failures: dict = {}
+    if plan.to_run:
+        keys = {record.path: key for record, key in plan.to_run}
+        hashes = {record.path: record.content_hash for record, _ in plan.to_run}
+        sources = {
+            record.path: index.root / record.path for record, _ in plan.to_run
+        }
+        results = run_batch(
+            sources,
+            max_workers=workers,
+            timing=timing,
+            min_count=min_count,
+            chunk_frames=(
+                chunk_frames if chunk_frames is not None
+                else DEFAULT_CHUNK_FRAMES
+            ),
+            on_error=on_error,
+        )
+        for path, result in results.items():
+            if isinstance(result, FailedAnalysis):
+                failures[path] = result
+                continue
+            reports[path] = result
+            store.put(keys[path], hashes[path], path, result)
+            index.note_analysis(hashes[path], keys[path])
+
+    where_text = where.text if isinstance(where, Query) else (where or "")
+    return CorpusAnalysis(
+        root=index.root,
+        where=where_text,
+        matched=len(records),
+        cached=len(plan.cached),
+        dispatched=len(plan.to_run),
+        reports=reports,
+        failures=failures,
+        skipped=plan.skipped,
+    )

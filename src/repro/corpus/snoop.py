@@ -1,0 +1,308 @@
+"""RFC 1761 snoop reader/writer for radiotap-encapsulated 802.11 traces.
+
+The second capture container the corpus understands (Solaris ``snoop``,
+the other format wireless captures of the paper's era shipped in).
+Produces and consumes the exact same :class:`repro.frames.Trace` schema
+as :mod:`repro.pcap.pcapio` by sharing its packet codecs — a trace
+written as snoop and read back is field-identical to the pcap round
+trip.
+
+Layout (all integers big-endian, RFC 1761 §2):
+
+* file header — 8-byte ident ``b"snoop\\0\\0\\0"``, version (2),
+  datalink type;
+* per record — original length, included length, record length
+  (header + payload + pad), cumulative drops, seconds, microseconds,
+  then the payload padded to a 4-byte boundary.
+
+RFC 1761 only assigns datalink codes 0–9; radiotap postdates it.  We
+register the project extension ``IEEE_802_11_RADIOTAP = 127``,
+mirroring the pcap linktype number, so the two containers agree on
+what the payload is.
+
+A ``.gz`` suffix on write — and the gzip magic on read — selects
+transparent, deterministic (mtime pinned to 0) gzip streaming, same as
+the pcap side.  Truncation/corruption surfaces as
+:class:`TruncatedSnoopError`, a subclass of
+:class:`repro.pcap.TruncatedPcapError`, after the clean prefix has
+been yielded.
+"""
+
+from __future__ import annotations
+
+import enum
+import gzip
+import struct
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from ..frames import TRACE_COLUMNS, Trace
+from ..pcap.pcapio import (
+    _CHUNK_BYTES,
+    _GZIP_MAGIC,
+    CODEC_ERRORS,
+    PAPER_SNAPLEN,
+    TruncatedPcapError,
+    _decode_packet_parts,
+    _encode_packet,
+    _row_from_packet,
+    _RowBuffer,
+)
+
+__all__ = [
+    "SNOOP_IDENT",
+    "SNOOP_VERSION",
+    "SnoopDatalinkType",
+    "TruncatedSnoopError",
+    "write_snoop",
+    "read_snoop",
+    "read_snoop_batches",
+]
+
+SNOOP_IDENT = b"snoop\x00\x00\x00"
+SNOOP_VERSION = 2
+
+
+class SnoopDatalinkType(enum.IntEnum):
+    """RFC 1761 §2 datalink codes, plus our radiotap extension."""
+
+    #: IEEE Ethernet
+    IEEE_802_3 = 0
+    #: IEEE Token Bus
+    IEEE_802_4 = 1
+    #: IEEE Metro Net
+    IEEE_802_5 = 2
+    #: Ethernet II
+    ETHERNET = 4
+    #: High-Level Data Link Control; ISO/IEC 13239
+    HDLC = 5
+    #: Synchronous Data Link Control; Character Synchronous
+    SDLC = 6
+    #: IBM Channel-to-Channel
+    FICON_CTC = 7
+    #: Fiber Distributed Data Interface
+    FDDI = 8
+    OTHER = 9
+    #: Project extension: radiotap-encapsulated 802.11, numbered to
+    #: match the pcap linktype (127) — not an IANA assignment.
+    IEEE_802_11_RADIOTAP = 127
+
+
+_FILE_HEADER = struct.Struct(">8sLL")
+_RECORD_HEADER = struct.Struct(">LLLLLL")
+
+
+class TruncatedSnoopError(TruncatedPcapError):
+    """A snoop capture ended mid-record or a record failed to decode.
+
+    Subclasses :class:`repro.pcap.TruncatedPcapError` so every existing
+    partial-read handler (streaming pipeline, serve daemon, batch runs,
+    corpus indexing) treats both containers uniformly.
+    """
+
+
+def _write_snoop_stream(
+    fp: BinaryIO, trace: Trace, snaplen: int, duration_fill: bool
+) -> int:
+    fp.write(
+        _FILE_HEADER.pack(
+            SNOOP_IDENT,
+            SNOOP_VERSION,
+            int(SnoopDatalinkType.IEEE_802_11_RADIOTAP),
+        )
+    )
+    for row in trace.iter_rows():
+        packet = _encode_packet(row, duration_fill)
+        incl = packet[:snaplen]
+        pad = -len(incl) % 4
+        ts_sec, ts_usec = divmod(row.time_us, 1_000_000)
+        fp.write(
+            _RECORD_HEADER.pack(
+                len(packet),
+                len(incl),
+                _RECORD_HEADER.size + len(incl) + pad,
+                0,
+                ts_sec,
+                ts_usec,
+            )
+        )
+        fp.write(incl)
+        fp.write(b"\0" * pad)
+    return len(trace)
+
+
+def write_snoop(
+    trace: Trace,
+    path: str | Path,
+    snaplen: int = PAPER_SNAPLEN,
+    duration_fill: bool = True,
+) -> int:
+    """Write ``trace`` to ``path`` as RFC 1761 snoop; returns frame count.
+
+    A ``.gz`` suffix gzip-compresses (byte-deterministic, mtime 0).
+    ``snaplen``/``duration_fill`` behave as in
+    :func:`repro.pcap.write_trace`.
+    """
+    path = Path(path)
+    if path.name.lower().endswith(".gz"):
+        # Deterministic member header (no path, no clock) — see
+        # the matching write in repro.pcap.write_trace.
+        with path.open("wb") as raw, gzip.GzipFile(
+            filename="", fileobj=raw, mode="wb", mtime=0
+        ) as fp:
+            return _write_snoop_stream(fp, trace, snaplen, duration_fill)
+    with path.open("wb") as fp:
+        return _write_snoop_stream(fp, trace, snaplen, duration_fill)
+
+
+def read_snoop_batches(
+    path: str | Path, batch_frames: int = 131_072
+):
+    """Incrementally read a snoop capture as bounded-size Traces.
+
+    Mirrors :func:`repro.pcap.read_trace_batches`: slab reads keep
+    memory bounded, gzip input is detected by magic and streamed, and
+    damage raises :class:`TruncatedSnoopError` only after the clean
+    prefix has been yielded.  Offsets in errors are into the
+    decompressed stream for ``.gz`` input.
+    """
+    if batch_frames <= 0:
+        raise ValueError("batch_frames must be positive")
+    path = Path(path)
+    with path.open("rb") as fp:
+        compressed = fp.read(2) == _GZIP_MAGIC
+    with (gzip.open(path, "rb") if compressed else path.open("rb")) as fp:
+        try:
+            header = fp.read(_FILE_HEADER.size)
+        except (EOFError, OSError) as error:
+            raise TruncatedSnoopError(
+                f"{path}: corrupt gzip stream "
+                f"({type(error).__name__}: {error})",
+                byte_offset=0,
+                frames_read=0,
+                compressed=True,
+            ) from error
+        if len(header) < _FILE_HEADER.size:
+            raise ValueError(f"{path}: not a snoop file (too short)")
+        ident, version, datalink = _FILE_HEADER.unpack(header)
+        if ident != SNOOP_IDENT:
+            raise ValueError(f"{path}: bad snoop ident {ident!r}")
+        if version != SNOOP_VERSION:
+            raise ValueError(
+                f"{path}: snoop version {version}, "
+                f"expected {SNOOP_VERSION}"
+            )
+        if datalink != SnoopDatalinkType.IEEE_802_11_RADIOTAP:
+            raise ValueError(
+                f"{path}: snoop datalink {datalink}, expected radiotap "
+                f"({int(SnoopDatalinkType.IEEE_802_11_RADIOTAP)})"
+            )
+
+        rows = _RowBuffer()
+        base = _FILE_HEADER.size  # absolute (decompressed) offset of buf[0]
+        buf = b""
+        frames_read = 0
+        eof = False
+        while not eof:
+            try:
+                data = fp.read(_CHUNK_BYTES)
+            except (EOFError, OSError) as error:
+                if not compressed:
+                    raise
+                if len(rows):
+                    yield rows.flush()
+                raise TruncatedSnoopError(
+                    f"{path}: corrupt gzip stream "
+                    f"({type(error).__name__}: {error})",
+                    byte_offset=base + len(buf),
+                    frames_read=frames_read,
+                    compressed=True,
+                ) from error
+            if not data:
+                eof = True
+            else:
+                buf = buf + data if buf else data
+            pos = 0
+            limit = len(buf)
+            while pos + _RECORD_HEADER.size <= limit:
+                orig_len, incl_len, rec_len, _drops, ts_sec, ts_usec = (
+                    _RECORD_HEADER.unpack_from(buf, pos)
+                )
+                if rec_len < _RECORD_HEADER.size + incl_len:
+                    if len(rows):
+                        yield rows.flush()
+                    raise TruncatedSnoopError(
+                        f"{path}: invalid record length {rec_len} "
+                        f"(included length {incl_len})",
+                        byte_offset=base + pos,
+                        frames_read=frames_read,
+                        compressed=compressed,
+                    )
+                if pos + rec_len > limit:
+                    break  # record longer than the slab: read more / EOF
+                start = pos + _RECORD_HEADER.size
+                packet = buf[start : start + incl_len]
+                try:
+                    radiotap, rt_len, frame = _decode_packet_parts(packet)
+                except CODEC_ERRORS as error:
+                    if len(rows):
+                        yield rows.flush()
+                    raise TruncatedSnoopError(
+                        f"{path}: undecodable record "
+                        f"({type(error).__name__}: {error})",
+                        byte_offset=base + pos,
+                        frames_read=frames_read,
+                        compressed=compressed,
+                    ) from error
+                rows.append_row(
+                    _row_from_packet(
+                        radiotap,
+                        rt_len,
+                        frame,
+                        orig_len,
+                        ts_sec * 1_000_000 + ts_usec,
+                    )
+                )
+                frames_read += 1
+                if len(rows) >= batch_frames:
+                    yield rows.take(batch_frames)
+                pos += rec_len
+            buf = buf[pos:]
+            base += pos
+        if buf:
+            # Damage found: flush the clean prefix first so streaming
+            # callers keep every frame read so far.
+            if len(rows):
+                yield rows.flush()
+            if len(buf) < _RECORD_HEADER.size:
+                raise TruncatedSnoopError(
+                    f"{path}: truncated record header",
+                    byte_offset=base,
+                    frames_read=frames_read,
+                    compressed=compressed,
+                )
+            raise TruncatedSnoopError(
+                f"{path}: truncated record body",
+                byte_offset=base + _RECORD_HEADER.size,
+                frames_read=frames_read,
+                compressed=compressed,
+            )
+        if len(rows):
+            yield rows.flush()
+
+
+def read_snoop(path: str | Path) -> Trace:
+    """Read a snoop capture (optionally gzipped) into a Trace."""
+    batches = list(read_snoop_batches(path))
+    if not batches:
+        return Trace.empty()
+    if len(batches) == 1:
+        return batches[0]
+    return Trace(
+        {
+            name: np.concatenate([b.column(name) for b in batches])
+            for name in TRACE_COLUMNS
+        }
+    )

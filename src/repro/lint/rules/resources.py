@@ -1,4 +1,4 @@
-"""Resource-safety rules: sockets must not be able to hang forever.
+"""Resource-safety rules: sockets must not hang, captures must close.
 
 A ``socket.create_connection`` without a timeout blocks until the
 kernel gives up (minutes, or never against a blackholed address) —
@@ -6,6 +6,15 @@ exactly how a campaign worker wedged forever against an unreachable
 coordinator.  Every connect names a timeout; a deliberately blocking
 session restores blocking mode *after* the connect succeeds
 (``sock.settimeout(None)``).
+
+Capture I/O in :mod:`repro.pcap` and :mod:`repro.corpus` opens many
+files per run (corpus refresh walks every capture; batch analysis
+streams dozens in parallel workers).  A handle left to the garbage
+collector keeps its descriptor until finalization — under a process
+pool that is long enough to exhaust the fd table, and on failure paths
+it pins temp files that atomic-write cleanup wants to unlink.  So
+every ``open``/``gzip.open``/``gzip.GzipFile`` (and ``Path.open``)
+there must be governed by a ``with`` statement.
 """
 
 from __future__ import annotations
@@ -42,4 +51,50 @@ def check_connect_timeout(ctx) -> Iterator[Finding]:
                 "unreachable peer — pass `timeout=`, then "
                 "`sock.settimeout(None)` if the session itself should "
                 "block",
+            )
+
+
+def _is_opener(node: ast.Call) -> bool:
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    return (
+        name in ("open", "gzip.open", "gzip.GzipFile", "os.fdopen")
+        or name.endswith(".open")
+    )
+
+
+@rule(
+    "capture-open-no-ctx",
+    family="resource-safety",
+    severity="error",
+    summary="a capture/catalog file opened outside a `with` statement",
+    scope=in_dirs("src/repro/pcap/", "src/repro/corpus/"),
+)
+def check_capture_open_ctx(ctx) -> Iterator[Finding]:
+    # Any opener call anywhere inside a with-item's context expression
+    # is governed: that covers `with open(...) as fp`, the conditional
+    # `with (gzip.open(p) if z else p.open())`, and the wrapping form
+    # `with gzip.GzipFile(fileobj=raw)` where `raw` came from a
+    # sibling with-item.
+    governed: set[int] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            for sub in ast.walk(item.context_expr):
+                if isinstance(sub, ast.Call):
+                    governed.add(id(sub))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or id(node) in governed:
+            continue
+        if _is_opener(node):
+            yield make(
+                ctx,
+                "capture-open-no-ctx",
+                node,
+                "capture I/O outside a context manager leaks the "
+                "descriptor until GC finalization — wrap the open in "
+                "`with ... as fp:` (parallel workers stream many "
+                "captures; leaked fds accumulate per process)",
             )

@@ -12,10 +12,18 @@ on-air size, so frame sizes survive the round trip.
 Information that genuinely does not exist on the air is lost exactly as
 it was for the paper: ACK and CTS frames carry no transmitter address,
 so those frames read back with ``src == NO_NODE``.
+
+Interchange: :func:`read_trace_batches` sniffs the leading bytes and
+transparently handles gzip-compressed captures and RFC 1761 snoop
+captures (:mod:`repro.corpus.snoop`) in addition to plain pcap;
+:func:`write_trace` routes on the path suffix (``.pcap`` /
+``.pcap.gz`` / ``.snoop`` / ``.snoop.gz``).  For compressed captures
+every reported byte offset is into the *decompressed* stream.
 """
 
 from __future__ import annotations
 
+import gzip
 import struct
 from pathlib import Path
 from typing import BinaryIO
@@ -53,20 +61,34 @@ class TruncatedPcapError(ValueError):
     frames decoded cleanly before it (``frames_read``) so callers —
     the streaming pipeline, the serve daemon, batch runs — can report
     the partial read instead of surfacing a raw ``struct.error``.
+    ``compressed`` marks offsets into the decompressed stream of a
+    gzipped capture (the on-disk file offset is not meaningful there).
     """
 
     def __init__(
-        self, message: str, *, byte_offset: int, frames_read: int
+        self,
+        message: str,
+        *,
+        byte_offset: int,
+        frames_read: int,
+        compressed: bool = False,
     ) -> None:
+        where = "decompressed byte offset" if compressed else "byte offset"
         super().__init__(
-            f"{message} (byte offset {byte_offset}, "
+            f"{message} ({where} {byte_offset}, "
             f"{frames_read} frames read cleanly)"
         )
         self.byte_offset = byte_offset
         self.frames_read = frames_read
+        self.compressed = compressed
 
 _MAGIC = 0xA1B2C3D4
 LINKTYPE_RADIOTAP = 127
+
+_GZIP_MAGIC = b"\x1f\x8b"
+#: RFC 1761 file ident (duplicated privately here so the pcap layer
+#: never imports :mod:`repro.corpus` at module load).
+_SNOOP_IDENT = b"snoop\x00\x00\x00"
 
 #: The snap length the paper's sniffers used (§4.2).
 PAPER_SNAPLEN = 250
@@ -80,50 +102,81 @@ def _write_global_header(fp: BinaryIO, snaplen: int) -> None:
     )
 
 
+def _encode_packet(row, duration_fill: bool) -> bytes:
+    """One trace row as radiotap + 802.11 bytes (shared with snoop)."""
+    radiotap = RadiotapHeader(
+        tsft_us=row.time_us,
+        rate_mbps=row.rate_mbps,
+        channel=row.channel,
+        signal_dbm=int(round(_NOISE_FLOOR_DBM + row.snr_db)),
+        noise_dbm=_NOISE_FLOOR_DBM,
+    ).encode()
+    body_size = 0
+    if row.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
+        body_size = max(0, row.size - 24)
+    duration = 10 + 304 if duration_fill else 0
+    dot11 = encode_frame(
+        ftype=row.ftype,
+        src=row.src,
+        dst=row.dst,
+        seq=row.seq,
+        retry=row.retry,
+        body_size=body_size,
+        duration_us=duration,
+    )
+    return radiotap + dot11
+
+
+def _write_pcap_stream(
+    fp: BinaryIO, trace: Trace, snaplen: int, duration_fill: bool
+) -> int:
+    _write_global_header(fp, snaplen)
+    for row in trace.iter_rows():
+        packet = _encode_packet(row, duration_fill)
+        incl = packet[:snaplen]
+        ts_sec, ts_usec = divmod(row.time_us, 1_000_000)
+        fp.write(
+            struct.pack("<IIII", ts_sec, ts_usec, len(incl), len(packet))
+        )
+        fp.write(incl)
+    return len(trace)
+
+
 def write_trace(
     trace: Trace,
     path: str | Path,
     snaplen: int = PAPER_SNAPLEN,
     duration_fill: bool = True,
 ) -> int:
-    """Write ``trace`` to ``path`` as a radiotap pcap; returns frame count.
+    """Write ``trace`` to ``path``; returns frame count.
+
+    The container is chosen by suffix: ``.snoop``/``.snoop.gz`` write
+    RFC 1761 snoop (:func:`repro.corpus.snoop.write_snoop`), a ``.gz``
+    suffix gzip-compresses, anything else is a plain radiotap pcap.
+    Compressed output is byte-deterministic (gzip mtime pinned to 0).
 
     ``duration_fill`` populates the 802.11 Duration field with each
     frame's NAV-style remaining-exchange estimate (SIFS + ACK) so real
     tools display something sensible; it is not read back.
     """
     path = Path(path)
+    name = path.name.lower()
+    if name.endswith((".snoop", ".snoop.gz")):
+        from ..corpus.snoop import write_snoop
+
+        return write_snoop(
+            trace, path, snaplen=snaplen, duration_fill=duration_fill
+        )
+    if name.endswith(".gz"):
+        # filename="" and mtime=0 keep the member header free of the
+        # output path and clock: identical traces compress to identical
+        # bytes, so the corpus content hash is write-order independent.
+        with path.open("wb") as raw, gzip.GzipFile(
+            filename="", fileobj=raw, mode="wb", mtime=0
+        ) as fp:
+            return _write_pcap_stream(fp, trace, snaplen, duration_fill)
     with path.open("wb") as fp:
-        _write_global_header(fp, snaplen)
-        for row in trace.iter_rows():
-            radiotap = RadiotapHeader(
-                tsft_us=row.time_us,
-                rate_mbps=row.rate_mbps,
-                channel=row.channel,
-                signal_dbm=int(round(_NOISE_FLOOR_DBM + row.snr_db)),
-                noise_dbm=_NOISE_FLOOR_DBM,
-            ).encode()
-            body_size = 0
-            if row.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
-                body_size = max(0, row.size - 24)
-            duration = 10 + 304 if duration_fill else 0
-            dot11 = encode_frame(
-                ftype=row.ftype,
-                src=row.src,
-                dst=row.dst,
-                seq=row.seq,
-                retry=row.retry,
-                body_size=body_size,
-                duration_us=duration,
-            )
-            packet = radiotap + dot11
-            incl = packet[:snaplen]
-            ts_sec, ts_usec = divmod(row.time_us, 1_000_000)
-            fp.write(
-                struct.pack("<IIII", ts_sec, ts_usec, len(incl), len(packet))
-            )
-            fp.write(incl)
-    return len(trace)
+        return _write_pcap_stream(fp, trace, snaplen, duration_fill)
 
 
 class _RowBuffer:
@@ -359,28 +412,30 @@ def _decode_block(u8: np.ndarray, offs: np.ndarray) -> tuple[dict, np.ndarray]:
     return cols, ok
 
 
-def _decode_record_scalar(
-    buf: bytes, pos: int, abs_offset: int, frames_read: int, path: Path
-) -> dict:
-    """Legacy per-record decode — the behavioural reference.
+#: Exceptions the radiotap/802.11 codecs raise on damaged bytes.  The
+#: snoop reader reuses this tuple so both containers wrap codec
+#: failures identically.
+CODEC_ERRORS = (struct.error, ValueError, KeyError, IndexError)
 
-    Raises exactly what the historical loop raised: a
-    :class:`TruncatedPcapError` (with the record's absolute byte offset)
-    when the codecs reject the bytes, and ``rate_to_code``'s bare
-    ``ValueError`` for a well-formed record bearing a non-802.11b rate.
+
+def _decode_packet_parts(packet: bytes):
+    """Decode a radiotap + 802.11 packet; codec exceptions propagate.
+
+    Returns ``(radiotap, rt_len, frame)``.  Callers own the wrapping of
+    :data:`CODEC_ERRORS` into their container's truncation error.
     """
-    ts_sec, ts_usec, incl_len, orig_len = struct.unpack_from("<IIII", buf, pos)
-    packet = buf[pos + 16 : pos + 16 + incl_len]
-    try:
-        radiotap, rt_len = RadiotapHeader.decode(packet)
-        frame = decode_frame(packet[rt_len:])
-    except (struct.error, ValueError, KeyError, IndexError) as error:
-        raise TruncatedPcapError(
-            f"{path}: undecodable record "
-            f"({type(error).__name__}: {error})",
-            byte_offset=abs_offset,
-            frames_read=frames_read,
-        ) from error
+    radiotap, rt_len = RadiotapHeader.decode(packet)
+    frame = decode_frame(packet[rt_len:])
+    return radiotap, rt_len, frame
+
+
+def _row_from_packet(radiotap, rt_len, frame, orig_len, time_us) -> dict:
+    """One decoded packet as a trace-row dict (shared with snoop).
+
+    ``rate_to_code``'s bare ``ValueError`` for a well-formed record
+    bearing a non-802.11b rate escapes deliberately — that is not
+    truncation, it is an out-of-scope capture.
+    """
     if frame.ftype in (FrameType.DATA, FrameType.MGMT, FrameType.BEACON):
         size = max(0, orig_len - rt_len - 24) + 24
     else:
@@ -388,7 +443,7 @@ def _decode_record_scalar(
             frame.ftype
         ]
     return {
-        "time_us": ts_sec * 1_000_000 + ts_usec,
+        "time_us": time_us,
         "ftype": int(frame.ftype),
         "rate_code": rate_to_code(radiotap.rate_mbps),
         "size": size,
@@ -401,10 +456,49 @@ def _decode_record_scalar(
     }
 
 
+def _decode_record_scalar(
+    buf: bytes,
+    pos: int,
+    abs_offset: int,
+    frames_read: int,
+    path: Path,
+    compressed: bool = False,
+) -> dict:
+    """Legacy per-record decode — the behavioural reference.
+
+    Raises exactly what the historical loop raised: a
+    :class:`TruncatedPcapError` (with the record's absolute byte offset)
+    when the codecs reject the bytes, and ``rate_to_code``'s bare
+    ``ValueError`` for a well-formed record bearing a non-802.11b rate.
+    """
+    ts_sec, ts_usec, incl_len, orig_len = struct.unpack_from("<IIII", buf, pos)
+    packet = buf[pos + 16 : pos + 16 + incl_len]
+    try:
+        radiotap, rt_len, frame = _decode_packet_parts(packet)
+    except CODEC_ERRORS as error:
+        raise TruncatedPcapError(
+            f"{path}: undecodable record "
+            f"({type(error).__name__}: {error})",
+            byte_offset=abs_offset,
+            frames_read=frames_read,
+            compressed=compressed,
+        ) from error
+    return _row_from_packet(
+        radiotap, rt_len, frame, orig_len, ts_sec * 1_000_000 + ts_usec
+    )
+
+
 def read_trace_batches(
     path: str | Path, batch_frames: int = 131_072
 ):
-    """Incrementally read a radiotap pcap as bounded-size Traces.
+    """Incrementally read a capture as bounded-size Traces.
+
+    The container is detected from the leading bytes, never the name:
+    plain radiotap pcap, RFC 1761 snoop (delegated to
+    :func:`repro.corpus.snoop.read_snoop_batches`), and gzip-compressed
+    variants of both.  For compressed captures, reads stream through
+    :mod:`gzip` — the file is never fully decompressed in memory — and
+    every reported byte offset is into the decompressed stream.
 
     The file is consumed in multi-megabyte slabs, so memory stays
     bounded no matter how large the capture is — the streaming
@@ -420,7 +514,41 @@ def read_trace_batches(
         raise ValueError("batch_frames must be positive")
     path = Path(path)
     with path.open("rb") as fp:
-        header = fp.read(24)
+        head = fp.read(8)
+    compressed = head.startswith(_GZIP_MAGIC)
+    if compressed:
+        try:
+            with gzip.open(path, "rb") as zp:
+                head = zp.read(8)
+        except (EOFError, OSError) as error:
+            raise TruncatedPcapError(
+                f"{path}: corrupt gzip stream "
+                f"({type(error).__name__}: {error})",
+                byte_offset=0,
+                frames_read=0,
+                compressed=True,
+            ) from error
+    if head.startswith(_SNOOP_IDENT):
+        from ..corpus.snoop import read_snoop_batches
+
+        yield from read_snoop_batches(path, batch_frames)
+        return
+    yield from _read_pcap_batches(path, batch_frames, compressed)
+
+
+def _read_pcap_batches(path: Path, batch_frames: int, compressed: bool):
+    """The pcap body of :func:`read_trace_batches` (format pre-sniffed)."""
+    with (gzip.open(path, "rb") if compressed else path.open("rb")) as fp:
+        try:
+            header = fp.read(24)
+        except (EOFError, OSError) as error:
+            raise TruncatedPcapError(
+                f"{path}: corrupt gzip stream "
+                f"({type(error).__name__}: {error})",
+                byte_offset=0,
+                frames_read=0,
+                compressed=True,
+            ) from error
         if len(header) < 24:
             raise ValueError(f"{path}: not a pcap file (too short)")
         magic, _vmaj, _vmin, _tz, _sig, _snaplen, linktype = struct.unpack(
@@ -435,12 +563,28 @@ def read_trace_batches(
             )
 
         rows = _RowBuffer()
-        base = 24  # absolute file offset of buf[0]
+        base = 24  # absolute (decompressed) offset of buf[0]
         buf = b""
         frames_read = 0
         eof = False
         while not eof:
-            data = fp.read(_CHUNK_BYTES)
+            try:
+                data = fp.read(_CHUNK_BYTES)
+            except (EOFError, OSError) as error:
+                if not compressed:
+                    raise
+                # The gzip stream itself died (truncated or corrupt
+                # compressed bytes): everything decoded so far is a
+                # clean prefix, exactly like an on-disk truncation.
+                if len(rows):
+                    yield rows.flush()
+                raise TruncatedPcapError(
+                    f"{path}: corrupt gzip stream "
+                    f"({type(error).__name__}: {error})",
+                    byte_offset=base + len(buf),
+                    frames_read=frames_read,
+                    compressed=True,
+                ) from error
             if not data:
                 eof = True
             else:
@@ -478,6 +622,7 @@ def read_trace_batches(
                                     base + int(offs[i]),
                                     frames_read,
                                     path,
+                                    compressed,
                                 )
                             except TruncatedPcapError:
                                 if len(rows):
@@ -500,6 +645,7 @@ def read_trace_batches(
                     f"{path}: truncated record header",
                     byte_offset=base,
                     frames_read=frames_read,
+                    compressed=compressed,
                 )
             if len(rows):
                 yield rows.flush()
@@ -507,13 +653,14 @@ def read_trace_batches(
                 f"{path}: truncated record body",
                 byte_offset=base + 16,
                 frames_read=frames_read,
+                compressed=compressed,
             )
         if len(rows):
             yield rows.flush()
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Read a radiotap pcap written by :func:`write_trace` into a Trace."""
+    """Read a capture (pcap/snoop, optionally gzipped) into a Trace."""
     batches = list(read_trace_batches(path))
     if not batches:
         return Trace.empty()

@@ -435,9 +435,11 @@ def _run_batch_item(item) -> tuple[str, object]:
 
 
 def run_batch(
-    traces,
+    traces=None,
     roster: NodeRoster | None = None,
     *,
+    corpus: str | Path | None = None,
+    where: str | None = None,
     max_workers: int | None = None,
     mode: str | None = None,
     timing: TimingParameters = DOT11B_TIMING,
@@ -451,6 +453,12 @@ def run_batch(
     ``(name, source)`` pairs, or a bare sequence of sources (named
     ``trace-0`` .. ``trace-N``).  Sources are anything :func:`run_all`
     accepts.  Results preserve input order.
+
+    Alternatively pass ``corpus=`` (an indexed capture directory,
+    optionally filtered with ``where=``): the batch is then *planned*
+    by :func:`repro.corpus.analyze_corpus` — captures with stored
+    reports are skipped, the rest dispatch largest-first — and results
+    are keyed by corpus-relative path.
 
     One capture raising (a truncated pcap, an unsortable feed) does
     **not** abort the batch: its entry becomes a :class:`FailedAnalysis`
@@ -466,6 +474,27 @@ def run_batch(
         raise ValueError(
             f"on_error must be 'capture' or 'raise', got {on_error!r}"
         )
+    if corpus is not None:
+        if traces is not None or roster is not None:
+            raise ValueError(
+                "corpus= replaces traces/roster: pass one or the other"
+            )
+        from ..corpus import analyze_corpus
+
+        analysis = analyze_corpus(
+            corpus,
+            where,
+            workers=max_workers,
+            chunk_frames=chunk_frames,
+            timing=timing,
+            min_count=min_count,
+            on_error=on_error,
+        )
+        return analysis.results
+    if traces is None:
+        raise TypeError("run_batch() needs traces (or corpus=)")
+    if where is not None:
+        raise ValueError("where= only applies with corpus=")
     if isinstance(traces, Mapping):
         items = list(traces.items())
     else:

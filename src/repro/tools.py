@@ -7,6 +7,10 @@ Usage (``repro`` and ``python -m repro`` are the same program)::
     repro simulate out.pcap --stations 10 --duration 20
     repro analyze capture.pcap
     repro analyze day.pcap plenary.pcap --workers 2
+    repro analyze captures/ 'sniffers/**/*.snoop' --workers 4
+    repro corpus index captures/
+    repro corpus query captures/ --where "channel=6 frames>10k"
+    repro corpus analyze captures/ --where "overlaps=13:00-14:00"
     repro campaign --scenario ramp \\
         --vary n_stations=10,20,40 --seeds 2 --workers 4 \\
         --store campaign-store --resume
@@ -35,6 +39,9 @@ summary — with ``--store`` every finished cell persists immediately
 ``campaign-coordinator``/``campaign-worker`` run the same sweep as a
 fault-tolerant cluster — workers lease cell batches over a socket and
 may be killed, added or restarted freely (:mod:`repro.campaign.dispatch`);
+``corpus`` manages an indexed capture library (content-addressed
+catalog, catalog-only queries, query-planned batch analysis that skips
+already-stored reports — see :mod:`repro.corpus`);
 ``info`` prints the Table-1 style summary only; ``serve`` runs the
 always-on multi-feed analysis daemon (:mod:`repro.serve`); ``lint``
 runs the AST-based determinism & protocol-safety analyzer
@@ -150,9 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="full congestion report from one or more pcaps (single-pass pipeline)",
+        help="full congestion report from one or more captures (single-pass pipeline)",
     )
-    analyze.add_argument("captures", nargs="+", help="input .pcap path(s)")
+    analyze.add_argument(
+        "captures",
+        nargs="+",
+        help="capture file(s), directories or glob patterns "
+        "(.pcap/.snoop, optionally .gz; expanded sorted)",
+    )
     analyze.add_argument(
         "--name", default=None, help="report title (single capture only)"
     )
@@ -167,6 +179,74 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=DEFAULT_CHUNK_FRAMES,
         help="frames per streaming chunk",
+    )
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="index, query and batch-analyze a capture library",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    corpus_index = corpus_sub.add_parser(
+        "index",
+        help="build/refresh the content-addressed capture catalog",
+    )
+    corpus_index.add_argument("root", help="corpus directory")
+    corpus_index.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every capture even when its size+mtime match",
+    )
+
+    corpus_query = corpus_sub.add_parser(
+        "query",
+        help="list catalogued captures matching a predicate "
+        "(answered from the catalog — capture files are not opened)",
+    )
+    corpus_query.add_argument("root", help="corpus directory")
+    corpus_query.add_argument(
+        "--where",
+        default=None,
+        metavar="QUERY",
+        help='e.g. "channel=6 frames>10k overlaps=13:00-14:00" '
+        "(see repro.corpus.query)",
+    )
+    corpus_query.add_argument(
+        "--no-refresh",
+        action="store_true",
+        help="answer from the existing catalog without rescanning disk",
+    )
+
+    corpus_analyze = corpus_sub.add_parser(
+        "analyze",
+        help="query-planned batch analysis: stored reports are served, "
+        "the rest dispatch largest-first",
+    )
+    corpus_analyze.add_argument("root", help="corpus directory")
+    corpus_analyze.add_argument(
+        "--where", default=None, metavar="QUERY", help="catalog predicate"
+    )
+    corpus_analyze.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel analyses (default: pool size)",
+    )
+    corpus_analyze.add_argument(
+        "--chunk-frames",
+        type=int,
+        default=DEFAULT_CHUNK_FRAMES,
+        help="frames per streaming chunk",
+    )
+    corpus_analyze.add_argument(
+        "--no-refresh",
+        action="store_true",
+        help="trust the existing catalog without rescanning disk",
+    )
+    corpus_analyze.add_argument(
+        "--report",
+        action="store_true",
+        help="print each capture's rendered report after the plan summary",
     )
 
     campaign = sub.add_parser(
@@ -595,14 +675,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("--chunk-frames must be >= 1", file=sys.stderr)
         return 2
     # Hand paths (not traces) to the api layer: each worker streams its
-    # pcap from disk in bounded chunks, so decode parallelises with
+    # capture from disk in bounded chunks, so decode parallelises with
     # --workers and memory stays flat however many captures are named.
+    # Directories and glob patterns expand (sorted) inside the spec
+    # layer; the name is applied only when exactly one capture results.
     experiment = Experiment.pcaps(*args.captures)
-    if args.name and len(args.captures) == 1:
+    if args.name:
         experiment = experiment.named(args.name)
-    result = experiment.run(
-        workers=args.workers, chunk_frames=args.chunk_frames
-    )
+    try:
+        result = experiment.run(
+            workers=args.workers, chunk_frames=args.chunk_frames
+        )
+    except SpecError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     printed = 0
     empty: list[str] = []
     failed = {f.name: f for f in result.failures}
@@ -626,6 +712,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 1 if empty or result.failures else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import CorpusError, CorpusIndex, analyze_corpus, filter_records
+
+    try:
+        if args.corpus_command == "index":
+            index = CorpusIndex(args.root)
+            stats = index.refresh(verify=args.verify)
+            records = index.records()
+            print(
+                f"{args.root}: {len(records)} capture(s) catalogued "
+                f"({stats.summary()})"
+            )
+            return 0
+        if args.corpus_command == "query":
+            index = CorpusIndex(args.root)
+            if not args.no_refresh:
+                index.refresh()
+            matched = filter_records(index.records(), args.where)
+            for record in matched:
+                suffix = ".gz" if record.compressed else ""
+                channels = ",".join(str(c) for c in record.channels) or "-"
+                print(
+                    f"{record.path}  {record.file_format}{suffix}  "
+                    f"{record.n_frames} frames  ch {channels}  {record.status}"
+                )
+            print(f"{len(matched)} matched")
+            return 0
+        # corpus analyze
+        if args.workers is not None and args.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+        if args.chunk_frames < 1:
+            print("--chunk-frames must be >= 1", file=sys.stderr)
+            return 2
+        analysis = analyze_corpus(
+            args.root,
+            args.where,
+            workers=args.workers,
+            chunk_frames=args.chunk_frames,
+            refresh=not args.no_refresh,
+        )
+    except CorpusError as error:
+        print(f"corpus error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"{analysis.matched} matched, {analysis.cached} cached, "
+        f"{analysis.dispatched} dispatched, {len(analysis.failures)} failed"
+    )
+    for path, status in sorted(analysis.skipped.items()):
+        print(f"{path}: skipped ({status})", file=sys.stderr)
+    for path in sorted(analysis.failures):
+        failure = analysis.failures[path]
+        print(
+            f"{path}: analysis failed "
+            f"[{failure.error_type}: {failure.error}]",
+            file=sys.stderr,
+        )
+    if args.report:
+        for path in sorted(analysis.reports):
+            print()
+            print(render_report(analysis.reports[path]))
+    return 1 if analysis.failures else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -916,6 +1066,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "corpus": _cmd_corpus,
     "campaign": _cmd_campaign,
     "campaign-status": _cmd_campaign_status,
     "campaign-coordinator": _cmd_campaign_coordinator,

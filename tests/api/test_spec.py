@@ -233,7 +233,7 @@ class TestPcapExistence:
         spec = ExperimentSpec.from_mapping(
             {"pcaps": [str(tmp_path / "nope.pcap")]}
         )
-        with pytest.raises(SpecError, match="pcap not found"):
+        with pytest.raises(SpecError, match="capture not found"):
             spec.validate()
 
     def test_existing_pcap_passes(self, tmp_path):

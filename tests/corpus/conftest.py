@@ -1,0 +1,55 @@
+"""Corpus fixtures: small multi-format capture trees built on disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frames import Trace
+from repro.pcap import write_trace
+
+from ..conftest import ack, data
+
+HOUR_US = 3_600 * 1_000_000
+
+
+def burst_rows(channel, t0_us, n_pairs=10):
+    """``n_pairs`` DATA/ACK exchanges on one channel starting at ``t0_us``."""
+    rows = []
+    t = t0_us
+    for i in range(n_pairs):
+        rows.append(data(t, src=10, dst=1, seq=i, channel=channel))
+        rows.append(ack(t + 1_400, src=1, dst=10, channel=channel))
+        t += 10_000
+    return rows
+
+
+def burst_trace(channel, t0_us, n_pairs=10):
+    return Trace.from_rows(burst_rows(channel, t0_us, n_pairs))
+
+
+def write_capture(path, channel=1, t0_us=HOUR_US, n_pairs=10):
+    """Write one burst capture; format picked by ``path`` suffix."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_trace(burst_trace(channel, t0_us, n_pairs), path)
+    return path
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    """A three-capture corpus spanning formats, channels and hours.
+
+    ======================  =======  ==========  ========
+    path                    channel  starts at   format
+    ======================  =======  ==========  ========
+    ``day1/morning.pcap``   6        13:00       pcap
+    ``day1/night.snoop``    1        02:00       snoop
+    ``late.pcap.gz``        11       13:30       pcap.gz
+    ======================  =======  ==========  ========
+    """
+    root = tmp_path / "corpus"
+    write_capture(root / "day1" / "morning.pcap", channel=6, t0_us=13 * HOUR_US)
+    write_capture(root / "day1" / "night.snoop", channel=1, t0_us=2 * HOUR_US)
+    write_capture(
+        root / "late.pcap.gz", channel=11, t0_us=13 * HOUR_US + HOUR_US // 2
+    )
+    return root

@@ -239,6 +239,50 @@ class TestResourceRules:
         )
         assert lint_tree.rules_found() == []
 
+    def test_bare_capture_open_flagged(self, lint_tree):
+        lint_tree.write(
+            "src/repro/pcap/foo.py",
+            """\
+            import gzip
+
+            def read(path):
+                fp = gzip.open(path, "rb")
+                return fp.read()
+            """,
+        )
+        assert lint_tree.rules_found() == ["capture-open-no-ctx"]
+
+    def test_path_open_outside_with_flagged(self, lint_tree):
+        lint_tree.write(
+            "src/repro/corpus/foo.py",
+            "def read(path):\n    return path.open('rb').read()\n",
+        )
+        assert lint_tree.rules_found() == ["capture-open-no-ctx"]
+
+    def test_with_managed_opens_are_fine(self, lint_tree):
+        lint_tree.write(
+            "src/repro/corpus/foo.py",
+            """\
+            import gzip
+
+            def read(path, compressed):
+                with (gzip.open(path) if compressed else path.open("rb")) as fp:
+                    head = fp.read(8)
+                with path.open("wb") as raw, gzip.GzipFile(
+                    fileobj=raw, mode="wb", mtime=0
+                ) as out:
+                    out.write(head)
+            """,
+        )
+        assert lint_tree.rules_found() == []
+
+    def test_capture_open_rule_scoped_to_capture_io(self, lint_tree):
+        lint_tree.write(
+            "src/repro/sim/foo.py",
+            "def read(path):\n    return open(path, 'rb').read()\n",
+        )
+        assert lint_tree.rules_found() == []
+
 
 class TestEngineMeta:
     def test_syntax_error_becomes_parse_error_finding(self, lint_tree):
